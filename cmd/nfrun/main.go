@@ -1,0 +1,212 @@
+// Command nfrun runs a single network function in a chosen flavour over
+// a synthetic trace and reports throughput — the quick way to poke at
+// one NF outside the full benchmark harness.
+//
+// Usage:
+//
+//	nfrun -nf cmsketch -flavor enetstl -packets 100000 -flows 1024 -zipf 1.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/harness"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/bloom"
+	"enetstl/internal/nf/cmsketch"
+	"enetstl/internal/nf/cuckoofilter"
+	"enetstl/internal/nf/cuckooswitch"
+	"enetstl/internal/nf/daryhash"
+	"enetstl/internal/nf/edf"
+	"enetstl/internal/nf/eiffel"
+	"enetstl/internal/nf/heavykeeper"
+	"enetstl/internal/nf/nitrosketch"
+	"enetstl/internal/nf/skiplist"
+	"enetstl/internal/nf/spacesaving"
+	"enetstl/internal/nf/timewheel"
+	"enetstl/internal/nf/tss"
+	"enetstl/internal/nf/vbf"
+	"enetstl/internal/pktgen"
+)
+
+func parseFlavor(s string) (nf.Flavor, error) {
+	switch s {
+	case "kernel":
+		return nf.Kernel, nil
+	case "ebpf":
+		return nf.EBPF, nil
+	case "enetstl":
+		return nf.ENetSTL, nil
+	}
+	return 0, fmt.Errorf("unknown flavor %q (kernel|ebpf|enetstl)", s)
+}
+
+func main() {
+	var (
+		name    = flag.String("nf", "cmsketch", "network function: skiplist cuckooswitch cmsketch nitrosketch cuckoofilter bloom vbf eiffel timewheel edf tss heavykeeper spacesaving daryhash")
+		flavorS = flag.String("flavor", "enetstl", "kernel | ebpf | enetstl")
+		packets = flag.Int("packets", 100000, "trace length")
+		flows   = flag.Int("flows", 1024, "distinct flows")
+		zipf    = flag.Float64("zipf", 1.1, "zipf skew (0 = uniform)")
+		trials  = flag.Int("trials", 3, "measurement trials")
+		seed    = flag.Int64("seed", 1, "trace seed")
+		disasm  = flag.Bool("disasm", false, "print the NF's bytecode and exit (VM flavours)")
+	)
+	flag.Parse()
+
+	flavor, err := parseFlavor(*flavorS)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	trace := pktgen.Generate(pktgen.Config{Flows: *flows, Packets: *packets, ZipfS: *zipf, Seed: *seed})
+
+	inst, err := build(*name, flavor, trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *disasm {
+		v, ok := inst.(*nf.VMInstance)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "-disasm: %s/%s is not a VM-backed instance\n", *name, *flavorS)
+			os.Exit(2)
+		}
+		fmt.Printf("%s (%s): %d instructions\n", v.Name(), v.Flavor(), v.Prog.Len())
+		fmt.Print(isa.Disassemble(v.Prog.Instructions()))
+		return
+	}
+	res, err := harness.Throughput(inst, trace, *trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	lat, err := harness.Latency(inst, trace)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(lat)
+}
+
+// build constructs an NF instance, populating lookup structures from
+// the trace's flows where the NF needs a table.
+func build(name string, flavor nf.Flavor, trace *pktgen.Trace) (nf.Instance, error) {
+	queueize := func() {
+		trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+		for i := range trace.Packets {
+			trace.Packets[i].SetArg(uint32(i * 2654435761))
+			trace.Packets[i].SetTS(uint64(i / 2))
+		}
+	}
+	switch name {
+	case "skiplist":
+		s, err := skiplist.New(flavor)
+		if err != nil {
+			return nil, err
+		}
+		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup, nf.OpDelete}, []int{1, 2, 1})
+		return s, nil
+	case "cuckooswitch":
+		s, err := cuckooswitch.New(flavor, cuckooswitch.Config{Buckets: 1024})
+		if err != nil {
+			return nil, err
+		}
+		for i := range trace.FlowKeys {
+			s.Insert(trace.FlowKeys[i][:], uint32(100+i))
+		}
+		return s.Instance, nil
+	case "cmsketch":
+		s, err := cmsketch.New(flavor, cmsketch.Config{Rows: 8, Width: 4096})
+		if err != nil {
+			return nil, err
+		}
+		return s.Instance, nil
+	case "nitrosketch":
+		s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4})
+		if err != nil {
+			return nil, err
+		}
+		return s.Instance, nil
+	case "cuckoofilter":
+		f, err := cuckoofilter.New(flavor, cuckoofilter.Config{Buckets: 1024})
+		if err != nil {
+			return nil, err
+		}
+		for i := range trace.FlowKeys {
+			f.Insert(trace.FlowKeys[i][:])
+		}
+		return f.Instance, nil
+	case "vbf":
+		v, err := vbf.New(flavor, vbf.Config{Bits: 16384, Hashes: 4})
+		if err != nil {
+			return nil, err
+		}
+		for i := range trace.FlowKeys {
+			v.Insert(trace.FlowKeys[i][:], i%32)
+		}
+		return v.Instance, nil
+	case "eiffel":
+		q, err := eiffel.New(flavor, eiffel.Config{Levels: 2})
+		if err != nil {
+			return nil, err
+		}
+		queueize()
+		return q.Instance, nil
+	case "timewheel":
+		w, err := timewheel.New(flavor, timewheel.Config{Slots: 1024})
+		if err != nil {
+			return nil, err
+		}
+		queueize()
+		return w.Instance, nil
+	case "edf":
+		e, err := edf.New(flavor, edf.Config{Groups: 1024, Targets: 64})
+		if err != nil {
+			return nil, err
+		}
+		return e.Instance, nil
+	case "tss":
+		c, err := tss.New(flavor, tss.Config{Spaces: 8, Slots: 1024})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(trace.FlowKeys)/2; i++ {
+			c.Insert(trace.FlowKeys[i][:], i%8, uint32(i%7+1), uint32(i))
+		}
+		return c.Instance, nil
+	case "heavykeeper":
+		h, err := heavykeeper.New(flavor, heavykeeper.Config{Rows: 4, Width: 4096})
+		if err != nil {
+			return nil, err
+		}
+		return h.Instance, nil
+	case "bloom":
+		f, err := bloom.New(flavor, bloom.Config{Bits: 1 << 16, Hashes: 4})
+		if err != nil {
+			return nil, err
+		}
+		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup}, []int{1, 3})
+		return f.Instance, nil
+	case "spacesaving":
+		s, err := spacesaving.New(flavor, spacesaving.Config{Slots: 64})
+		if err != nil {
+			return nil, err
+		}
+		return s.Instance, nil
+	case "daryhash":
+		d, err := daryhash.New(flavor, daryhash.Config{Slots: 4096, D: 4})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < len(trace.FlowKeys) && i < 2048; i++ {
+			d.Insert(trace.FlowKeys[i][:], uint32(100+i))
+		}
+		return d.Instance, nil
+	}
+	return nil, fmt.Errorf("unknown NF %q", name)
+}

@@ -1,0 +1,76 @@
+// Trafficshaper: a Carousel-style egress shaper (paper Case Study 3)
+// on the eNetSTL time wheel. Packets arrive in bursts with computed
+// release timestamps (pacing each flow to a target rate); the wheel
+// releases them as the clock ticks, smoothing the bursts.
+//
+//	go run ./examples/trafficshaper
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/timewheel"
+	"enetstl/internal/pktgen"
+)
+
+func main() {
+	const (
+		slots    = 256
+		nFlows   = 32
+		perBurst = 64
+		paceGap  = 4 // ticks between a flow's packets
+	)
+	w, err := timewheel.New(nf.ENetSTL, timewheel.Config{Slots: slots})
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace := pktgen.Generate(pktgen.Config{Flows: nFlows, Packets: 0, Seed: 5})
+
+	// Burst arrival: every flow dumps perBurst packets at t=0. The
+	// shaper assigns each flow's packet i the deadline i*paceGap, with
+	// flows phase-shifted so ticks stay under the drain batch size.
+	pkt := make([]byte, nf.PktSize)
+	enq := 0
+	for f := 0; f < nFlows; f++ {
+		for i := 0; i < perBurst; i++ {
+			copy(pkt, trace.FlowKeys[f][:])
+			binary.LittleEndian.PutUint32(pkt[nf.OffOp:], nf.OpEnqueue)
+			binary.LittleEndian.PutUint64(pkt[nf.OffTS:], uint64(i*paceGap+f%paceGap))
+			if _, err := w.Process(pkt); err != nil {
+				log.Fatalf("enqueue: %v", err)
+			}
+			enq++
+		}
+	}
+	fmt.Printf("enqueued %d packets from a synchronized burst of %d flows\n\n", enq, nFlows)
+
+	// Drain tick by tick; the release schedule should be flat at
+	// nFlows packets per active tick instead of one giant burst.
+	deq := make([]byte, nf.PktSize)
+	binary.LittleEndian.PutUint32(deq[nf.OffOp:], nf.OpDequeue)
+	released := 0
+	histogram := map[int]int{}
+	for tick := 0; released < enq && tick < slots*4; tick++ {
+		// Each Process drains up to DrainBatch; repeat until the slot
+		// is empty before the clock moves on (the verdict encodes the
+		// drained count).
+		total := 0
+		v, err := w.Process(deq)
+		if err != nil {
+			log.Fatalf("dequeue: %v", err)
+		}
+		total += int(v - timewheel.DrainBase)
+		released += total
+		if total > 0 {
+			histogram[total]++
+		}
+	}
+	fmt.Printf("released %d packets; per-tick release sizes:\n", released)
+	for size, n := range histogram {
+		fmt.Printf("  %3d pkts/tick x %d ticks\n", size, n)
+	}
+	fmt.Printf("\nwithout shaping this would have been one burst of %d.\n", enq)
+}

@@ -1,0 +1,3 @@
+module enetstl
+
+go 1.22

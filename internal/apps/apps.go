@@ -1,0 +1,122 @@
+// Package apps composes the evaluated NFs into simplified versions of
+// the real-world eBPF projects of the paper's §6.5 (Fig. 7): a
+// Katran-style L4 load balancer, a RakeLimit-style multi-view rate
+// limiter, a Polycube-style bridge, and an eBPF-sketch measurement
+// suite. Each app exists in two versions: Origin (the pure-eBPF
+// flavours of its stages, i.e. BPF-map based cores) and eNetSTL (the
+// kfunc-backed flavours).
+package apps
+
+import (
+	"fmt"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/cmsketch"
+	"enetstl/internal/nf/cuckooswitch"
+	"enetstl/internal/nf/edf"
+	"enetstl/internal/nf/heavykeeper"
+	"enetstl/internal/nf/vbf"
+)
+
+// App is a pipeline of NF stages; its verdict is the last stage's.
+type App struct {
+	name   string
+	flavor nf.Flavor
+	stages []nf.Instance
+}
+
+// Name returns the application name.
+func (a *App) Name() string { return a.name }
+
+// Flavor returns the flavour its stages were built in.
+func (a *App) Flavor() nf.Flavor { return a.flavor }
+
+// Process runs the packet through every stage.
+func (a *App) Process(pkt []byte) (uint64, error) {
+	var v uint64
+	var err error
+	for _, s := range a.stages {
+		if v, err = s.Process(pkt); err != nil {
+			return 0, fmt.Errorf("%s stage %s: %w", a.name, s.Name(), err)
+		}
+	}
+	return v, nil
+}
+
+// flavorOf maps the two Fig. 7 versions onto NF flavours.
+func flavorOf(enetstl bool) nf.Flavor {
+	if enetstl {
+		return nf.ENetSTL
+	}
+	return nf.EBPF
+}
+
+// NewKatran builds the L4 load balancer: a connection-table lookup
+// (blocked cuckoo hash) followed by backend selection (EDF). keys
+// populate the connection table.
+func NewKatran(enetstl bool, keys [][nf.KeyLen]byte) (*App, error) {
+	fl := flavorOf(enetstl)
+	conn, err := cuckooswitch.New(fl, cuckooswitch.Config{Buckets: 1024})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		conn.Insert(k[:], uint32(100+i%64))
+	}
+	lb, err := edf.New(fl, edf.Config{Groups: 256, Targets: 64})
+	if err != nil {
+		return nil, err
+	}
+	return &App{name: "katran", flavor: fl, stages: []nf.Instance{conn, lb}}, nil
+}
+
+// NewRakeLimit builds the rate limiter: two count-min views of the
+// traffic (per-address and per-flow granularities in RakeLimit).
+func NewRakeLimit(enetstl bool) (*App, error) {
+	fl := flavorOf(enetstl)
+	coarse, err := cmsketch.New(fl, cmsketch.Config{Rows: 4, Width: 2048})
+	if err != nil {
+		return nil, err
+	}
+	fine, err := cmsketch.New(fl, cmsketch.Config{Rows: 4, Width: 8192})
+	if err != nil {
+		return nil, err
+	}
+	return &App{name: "rakelimit", flavor: fl,
+		stages: []nf.Instance{coarse.Instance, fine.Instance}}, nil
+}
+
+// NewPolycube builds the bridge datapath: known-station membership test
+// (vBF) followed by a forwarding-table lookup (blocked cuckoo hash).
+func NewPolycube(enetstl bool, keys [][nf.KeyLen]byte) (*App, error) {
+	fl := flavorOf(enetstl)
+	member, err := vbf.New(fl, vbf.Config{Bits: 8192, Hashes: 4})
+	if err != nil {
+		return nil, err
+	}
+	fib, err := cuckooswitch.New(fl, cuckooswitch.Config{Buckets: 1024})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range keys {
+		member.Insert(k[:], i%32)
+		fib.Insert(k[:], uint32(100+i%48))
+	}
+	return &App{name: "polycube", flavor: fl, stages: []nf.Instance{member.Instance, fib}}, nil
+}
+
+// NewSketchSuite builds the measurement service: a count-min sketch for
+// per-flow volumes plus HeavyKeeper for top-k detection.
+func NewSketchSuite(enetstl bool) (*App, error) {
+	fl := flavorOf(enetstl)
+	cms, err := cmsketch.New(fl, cmsketch.Config{Rows: 6, Width: 4096})
+	if err != nil {
+		return nil, err
+	}
+	hk, err := heavykeeper.New(fl, heavykeeper.Config{Rows: 4, Width: 2048})
+	if err != nil {
+		return nil, err
+	}
+	return &App{name: "sketches", flavor: fl,
+		stages: []nf.Instance{cms.Instance, hk.Instance}}, nil
+}

@@ -1,0 +1,57 @@
+package apps
+
+import (
+	"testing"
+
+	"enetstl/internal/pktgen"
+)
+
+func TestAppsProcessTraffic(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 512, Packets: 500, ZipfS: 1.1, Seed: 1})
+	builders := []struct {
+		name string
+		mk   func(enetstl bool) (*App, error)
+	}{
+		{"katran", func(e bool) (*App, error) { return NewKatran(e, trace.FlowKeys) }},
+		{"rakelimit", func(e bool) (*App, error) { return NewRakeLimit(e) }},
+		{"polycube", func(e bool) (*App, error) { return NewPolycube(e, trace.FlowKeys) }},
+		{"sketches", func(e bool) (*App, error) { return NewSketchSuite(e) }},
+	}
+	for _, bl := range builders {
+		for _, enetstl := range []bool{false, true} {
+			a, err := bl.mk(enetstl)
+			if err != nil {
+				t.Fatalf("%s(enetstl=%v): %v", bl.name, enetstl, err)
+			}
+			if a.Name() != bl.name {
+				t.Fatalf("name %q", a.Name())
+			}
+			for i := range trace.Packets {
+				if _, err := a.Process(trace.Packets[i][:]); err != nil {
+					t.Fatalf("%s(enetstl=%v) packet %d: %v", bl.name, enetstl, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestKatranVersionsAgree(t *testing.T) {
+	// Both versions share the same connection table contents and EDF
+	// function, so verdicts must match packet for packet.
+	trace := pktgen.Generate(pktgen.Config{Flows: 256, Packets: 400, Seed: 2})
+	orig, err := NewKatran(false, trace.FlowKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estl, err := NewKatran(true, trace.FlowKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace.Packets {
+		a, _ := orig.Process(trace.Packets[i][:])
+		b, _ := estl.Process(trace.Packets[i][:])
+		if a != b {
+			t.Fatalf("packet %d: origin=%d enetstl=%d", i, a, b)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package bitops provides the hardware bit-manipulation algorithms of
+// eNetSTL (paper §4.3, "Algorithms: bit manipulation"). On amd64 the Go
+// compiler lowers math/bits to single instructions (TZCNT/LZCNT/POPCNT),
+// which is exactly the FFS/FLS/POPCNT acceleration the paper wraps;
+// eBPF bytecode has no such instructions and must loop in software.
+package bitops
+
+import "math/bits"
+
+// FFS returns the 1-based index of the least significant set bit of x,
+// or 0 if x is zero — the semantics of the ffs(3) / kernel __ffs family
+// the paper's queuing NFs rely on.
+func FFS(x uint64) int {
+	if x == 0 {
+		return 0
+	}
+	return bits.TrailingZeros64(x) + 1
+}
+
+// FLS returns the 1-based index of the most significant set bit of x,
+// or 0 if x is zero.
+func FLS(x uint64) int {
+	return 64 - bits.LeadingZeros64(x)
+}
+
+// CTZ returns the number of trailing zero bits (64 when x is 0).
+func CTZ(x uint64) int { return bits.TrailingZeros64(x) }
+
+// CLZ returns the number of leading zero bits (64 when x is 0).
+func CLZ(x uint64) int { return bits.LeadingZeros64(x) }
+
+// Popcnt returns the number of set bits in x.
+func Popcnt(x uint64) int { return bits.OnesCount64(x) }
+
+// Bitmap is a multi-word bitmap used to encode bucket occupancy
+// (observation O1: "bit i is set iff buckets[i] contains elements").
+type Bitmap []uint64
+
+// NewBitmap returns a bitmap capable of holding nbits bits.
+func NewBitmap(nbits int) Bitmap {
+	return make(Bitmap, (nbits+63)/64)
+}
+
+// Set sets bit i.
+func (b Bitmap) Set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// Clear clears bit i.
+func (b Bitmap) Clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Test reports whether bit i is set.
+func (b Bitmap) Test(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// FirstSet returns the index of the first set bit at or after from, or
+// -1 if none. It scans O(n/64) words, using one TZCNT per candidate word
+// — the paper's O(ceil(n/64)) lookup.
+func (b Bitmap) FirstSet(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	n := len(b) * 64
+	if from >= n {
+		return -1
+	}
+	w := from >> 6
+	// Mask off bits below `from` in the first word.
+	cur := b[w] & (^uint64(0) << (uint(from) & 63))
+	for {
+		if cur != 0 {
+			return w<<6 + bits.TrailingZeros64(cur)
+		}
+		w++
+		if w >= len(b) {
+			return -1
+		}
+		cur = b[w]
+	}
+}
+
+// LastSet returns the index of the last set bit at or before upto, or -1.
+func (b Bitmap) LastSet(upto int) int {
+	n := len(b)*64 - 1
+	if upto > n {
+		upto = n
+	}
+	if upto < 0 {
+		return -1
+	}
+	w := upto >> 6
+	cur := b[w] & (^uint64(0) >> (63 - uint(upto)&63))
+	for {
+		if cur != 0 {
+			return w<<6 + 63 - bits.LeadingZeros64(cur)
+		}
+		w--
+		if w < 0 {
+			return -1
+		}
+		cur = b[w]
+	}
+}
+
+// CountRange returns the number of set bits in [0, n).
+func (b Bitmap) CountRange(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	total := 0
+	full := n >> 6
+	for i := 0; i < full; i++ {
+		total += bits.OnesCount64(b[i])
+	}
+	if rem := uint(n) & 63; rem != 0 && full < len(b) {
+		total += bits.OnesCount64(b[full] & (1<<rem - 1))
+	}
+	return total
+}
+
+// Words returns the number of 64-bit words in the bitmap.
+func (b Bitmap) Words() int { return len(b) }
+
+// SoftFFS is the software fallback an eBPF program must use: a
+// shift-and-test loop. It exists so benchmarks can compare the two paths
+// natively as well (Table 2's ffs row).
+func SoftFFS(x uint64) int {
+	if x == 0 {
+		return 0
+	}
+	n := 1
+	if x&0xffffffff == 0 {
+		n += 32
+		x >>= 32
+	}
+	if x&0xffff == 0 {
+		n += 16
+		x >>= 16
+	}
+	if x&0xff == 0 {
+		n += 8
+		x >>= 8
+	}
+	if x&0xf == 0 {
+		n += 4
+		x >>= 4
+	}
+	if x&0x3 == 0 {
+		n += 2
+		x >>= 2
+	}
+	if x&0x1 == 0 {
+		n++
+	}
+	return n
+}
+
+// SoftPopcnt is the software population count (parallel reduction), for
+// the same comparison purpose.
+func SoftPopcnt(x uint64) int {
+	x = x - (x>>1)&0x5555555555555555
+	x = x&0x3333333333333333 + (x>>2)&0x3333333333333333
+	x = (x + x>>4) & 0x0f0f0f0f0f0f0f0f
+	return int(x * 0x0101010101010101 >> 56)
+}

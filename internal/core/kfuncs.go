@@ -1,0 +1,578 @@
+package core
+
+import (
+	"fmt"
+
+	"enetstl/internal/bitops"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/listbuckets"
+	"enetstl/internal/nhash"
+	"enetstl/internal/rpool"
+	"enetstl/internal/simd"
+)
+
+// u32Slice views a byte region as little-endian uint32 lanes without
+// copying. The simulated VM stores memory as bytes; components operate
+// on uint32 views, so conversion happens at the kfunc boundary (the
+// analogue of SIMD register loads, paid once per call).
+func u32Slice(b []byte) []uint32 {
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		j := i * 4
+		out[i] = uint32(b[j]) | uint32(b[j+1])<<8 | uint32(b[j+2])<<16 | uint32(b[j+3])<<24
+	}
+	return out
+}
+
+func putU32Slice(b []byte, v []uint32) {
+	for i, x := range v {
+		j := i * 4
+		b[j], b[j+1], b[j+2], b[j+3] = byte(x), byte(x>>8), byte(x>>16), byte(x>>24)
+	}
+}
+
+func u64At(b []byte, i int) uint64 {
+	j := i * 8
+	return uint64(b[j]) | uint64(b[j+1])<<8 | uint64(b[j+2])<<16 | uint64(b[j+3])<<24 |
+		uint64(b[j+4])<<32 | uint64(b[j+5])<<40 | uint64(b[j+6])<<48 | uint64(b[j+7])<<56
+}
+
+func putU64At(b []byte, i int, v uint64) {
+	j := i * 8
+	b[j], b[j+1], b[j+2], b[j+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[j+4], b[j+5], b[j+6], b[j+7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}
+
+func incU32(b []byte, i int) {
+	j := i * 4
+	v := uint32(b[j]) | uint32(b[j+1])<<8 | uint32(b[j+2])<<16 | uint32(b[j+3])<<24
+	v++
+	b[j], b[j+1], b[j+2], b[j+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+
+func getU32(b []byte, i int) uint32 {
+	j := i * 4
+	return uint32(b[j]) | uint32(b[j+1])<<8 | uint32(b[j+2])<<16 | uint32(b[j+3])<<24
+}
+
+func (l *Lib) registerBitops() {
+	scalar1 := vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{{Kind: vm.ArgScalar}}, Ret: vm.RetScalar}
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfFFS64, Name: "enetstl_ffs64", Meta: scalar1,
+		Impl: func(_ *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			return uint64(bitops.FFS(a1)), nil
+		}})
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfFLS64, Name: "enetstl_fls64", Meta: scalar1,
+		Impl: func(_ *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			return uint64(bitops.FLS(a1)), nil
+		}})
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfPopcnt64, Name: "enetstl_popcnt64", Meta: scalar1,
+		Impl: func(_ *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			return uint64(bitops.Popcnt(a1)), nil
+		}})
+	// kf_bitmap_ffs(bitmapPtr, bitmapBytes, fromBit) -> 1+bit or 0.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBitmapFFS, Name: "enetstl_bitmap_ffs",
+		Meta: vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			b, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			if a2%8 != 0 {
+				return 0, fmt.Errorf("bitmap size %d not a multiple of 8", a2)
+			}
+			bm := make(bitops.Bitmap, a2/8)
+			for i := range bm {
+				bm[i] = u64At(b, i)
+			}
+			idx := bm.FirstSet(int(a3))
+			return uint64(idx + 1), nil
+		}})
+}
+
+func (l *Lib) registerHash() {
+	// kf_hash_crc(keyPtr, keyLen, seed) -> u32.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfHashCRC, Name: "enetstl_hash_crc",
+		Meta: vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			key, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			return uint64(nhash.CRC32(key, uint32(a3))), nil
+		}})
+	// kf_hash_fast64(keyPtr, keyLen, seed) -> u64.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfHashFast64, Name: "enetstl_hash_fast64",
+		Meta: vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			key, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			return nhash.FastHash64(key, a3), nil
+		}})
+	// kf_hash_n(keyPtr, keyLen, outPtr, outBytes): the low-level
+	// interface — all hash values are copied back to program memory.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfHashN, Name: "enetstl_hash_n",
+		Meta: vm.KfuncMeta{NumArgs: 4, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
+			{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetVoid},
+		Impl: func(machine *vm.VM, a1, a2, a3, a4, _ uint64) (uint64, error) {
+			key, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			out, err := machine.Bytes(a3, int(a4))
+			if err != nil {
+				return 0, err
+			}
+			d := int(a4) / 4
+			hs := make([]uint32, d)
+			nhash.HashN(key, d, hs)
+			putU32Slice(out, hs)
+			return 0, nil
+		}})
+
+	// flags for the fused matrix ops: rows<<32 | mask.
+	matrixOp := func(id int32, name string,
+		op func(buf []byte, rows int, mask uint32, key []byte) uint64) {
+		l.vm.RegisterKfunc(&vm.Kfunc{ID: id, Name: name,
+			Meta: vm.KfuncMeta{NumArgs: 5, Args: [5]vm.ArgSpec{
+				{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
+				{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
+				{Kind: vm.ArgScalar},
+			}, Ret: vm.RetScalar},
+			Impl: func(machine *vm.VM, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+				buf, err := machine.Bytes(a1, int(a2))
+				if err != nil {
+					return 0, err
+				}
+				key, err := machine.Bytes(a3, int(a4))
+				if err != nil {
+					return 0, err
+				}
+				rows := int(a5 >> 32)
+				mask := uint32(a5)
+				if rows <= 0 || mask == ^uint32(0) {
+					return 0, fmt.Errorf("%s: bad flags %#x", name, a5)
+				}
+				if rows*(int(mask)+1)*4 > len(buf) {
+					return 0, fmt.Errorf("%s: matrix %dx%d exceeds buffer %d", name, rows, mask+1, len(buf))
+				}
+				return op(buf, rows, mask, key), nil
+			}})
+	}
+	// kf_hash_cnt: fused multi-hash + counter increment (Listing 2).
+	matrixOp(KfHashCnt, "enetstl_hash_cnt", func(buf []byte, rows int, mask uint32, key []byte) uint64 {
+		w := int(mask) + 1
+		for i := 0; i < rows; i++ {
+			h := nhash.FastHash32(key, nhash.Seed(i))
+			incU32(buf, i*w+int(h&mask))
+		}
+		return 0
+	})
+	// kf_hash_min: fused multi-hash + min-reduction (count-min query).
+	matrixOp(KfHashMin, "enetstl_hash_min", func(buf []byte, rows int, mask uint32, key []byte) uint64 {
+		w := int(mask) + 1
+		min := ^uint32(0)
+		for i := 0; i < rows; i++ {
+			h := nhash.FastHash32(key, nhash.Seed(i))
+			if c := getU32(buf, i*w+int(h&mask)); c < min {
+				min = c
+			}
+		}
+		return uint64(min)
+	})
+
+	// kf_hash_cmp: the fused "comparing after hashing" of §4.3 ([27],
+	// d-ary cuckoo hashing): compute d candidate slots for key and
+	// return the first whose stored signature matches, or all-ones.
+	// Slot layout: (sig u32, value u32) pairs; flags = d<<32 | slotMask.
+	matrixCmp := func(buf []byte, d int, mask uint32, key []byte) uint64 {
+		sig := nhash.FastHash32(key, SigSeed) | 1
+		for i := 0; i < d; i++ {
+			h := nhash.FastHash32(key, nhash.Seed(i)) & mask
+			if getU32(buf, int(h)*2) == sig {
+				return uint64(h)
+			}
+		}
+		return ^uint64(0)
+	}
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfHashCmp, Name: "enetstl_hash_cmp",
+		Meta: vm.KfuncMeta{NumArgs: 5, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
+			{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
+			{Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+			buf, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			key, err := machine.Bytes(a3, int(a4))
+			if err != nil {
+				return 0, err
+			}
+			d := int(a5 >> 32)
+			mask := uint32(a5)
+			if d <= 0 || (int(mask)+1)*8 > len(buf) {
+				return 0, fmt.Errorf("hash_cmp: bad flags %#x for %d-byte table", a5, len(buf))
+			}
+			return matrixCmp(buf, d, mask, key), nil
+		}})
+
+	// Bloom-style fused ops: flags = d<<32 | bitMask (bits-1, pow2-1).
+	bloomOp := func(id int32, name string,
+		op func(bm []byte, d int, mask uint32, key []byte) uint64) {
+		l.vm.RegisterKfunc(&vm.Kfunc{ID: id, Name: name,
+			Meta: vm.KfuncMeta{NumArgs: 5, Args: [5]vm.ArgSpec{
+				{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
+				{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
+				{Kind: vm.ArgScalar},
+			}, Ret: vm.RetScalar},
+			Impl: func(machine *vm.VM, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+				bm, err := machine.Bytes(a1, int(a2))
+				if err != nil {
+					return 0, err
+				}
+				key, err := machine.Bytes(a3, int(a4))
+				if err != nil {
+					return 0, err
+				}
+				d := int(a5 >> 32)
+				mask := uint32(a5)
+				if d <= 0 || (uint64(mask)+1)/8 > uint64(len(bm)) {
+					return 0, fmt.Errorf("%s: bad flags %#x for %d-byte bitmap", name, a5, len(bm))
+				}
+				return op(bm, d, mask, key), nil
+			}})
+	}
+	// kf_hash_set: fused "setting bits after hashing" (Bloom insert).
+	bloomOp(KfHashSet, "enetstl_hash_set", func(bm []byte, d int, mask uint32, key []byte) uint64 {
+		for i := 0; i < d; i++ {
+			h := nhash.FastHash32(key, nhash.Seed(i)) & mask
+			bm[h>>3] |= 1 << (h & 7)
+		}
+		return 0
+	})
+	// kf_hash_test: fused Bloom membership test.
+	bloomOp(KfHashTest, "enetstl_hash_test", func(bm []byte, d int, mask uint32, key []byte) uint64 {
+		for i := 0; i < d; i++ {
+			h := nhash.FastHash32(key, nhash.Seed(i)) & mask
+			if bm[h>>3]&(1<<(h&7)) == 0 {
+				return 0
+			}
+		}
+		return 1
+	})
+}
+
+func (l *Lib) registerSIMD() {
+	memKey := vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+		{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar}, {Kind: vm.ArgScalar},
+	}, Ret: vm.RetScalar}
+	// kf_find_u32(arrPtr, arrBytes, key) -> index or all-ones.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfFindU32, Name: "enetstl_find_u32", Meta: memKey,
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			b, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			idx := simd.FindU32(u32Slice(b), uint32(a3))
+			return uint64(int64(idx)), nil
+		}})
+	// kf_find_u16(arrPtr, arrBytes, key) -> index or all-ones.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfFindU16, Name: "enetstl_find_u16", Meta: memKey,
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			b, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			arr := make([]uint16, len(b)/2)
+			for i := range arr {
+				arr[i] = uint16(b[i*2]) | uint16(b[i*2+1])<<8
+			}
+			idx := simd.FindU16(arr, uint16(a3))
+			return uint64(int64(idx)), nil
+		}})
+	memOnly := vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
+		{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
+	}, Ret: vm.RetScalar}
+	// kf_min_u32 / kf_max_u32 -> idx<<32 | value.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfMinU32, Name: "enetstl_min_u32", Meta: memOnly,
+		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
+			b, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			idx, val := simd.MinU32(u32Slice(b))
+			return uint64(uint32(idx))<<32 | uint64(val), nil
+		}})
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfMaxU32, Name: "enetstl_max_u32", Meta: memOnly,
+		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
+			b, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			idx, val := simd.MaxU32(u32Slice(b))
+			return uint64(uint32(idx))<<32 | uint64(val), nil
+		}})
+
+	// Low-level wrappers (Fig. 6): fixed 32-byte vectors through memory.
+	const vecBytes = simd.LaneWidth * 4
+	// kf_vec_cmp_u32(destPtr, srcPtr, key): dest = lanewise (src==key).
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfVecCmpU32, Name: "enetstl_vec_cmp_u32",
+		Meta: vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, Size: vecBytes},
+			{Kind: vm.ArgPtrToMem, Size: vecBytes},
+			{Kind: vm.ArgScalar},
+		}, Ret: vm.RetVoid},
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			dst, err := machine.Bytes(a1, vecBytes)
+			if err != nil {
+				return 0, err
+			}
+			src, err := machine.Bytes(a2, vecBytes)
+			if err != nil {
+				return 0, err
+			}
+			v := simd.VecLoad(u32Slice(src))  // costly load
+			m := simd.VecCmpEq(v, uint32(a3)) // the instruction
+			putU32Slice(dst, m[:])            // costly store
+			return 0, nil
+		}})
+	// kf_vec_movemask(srcPtr) -> lane mask bits.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfVecMoveMask, Name: "enetstl_vec_movemask",
+		Meta: vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, Size: vecBytes},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			src, err := machine.Bytes(a1, vecBytes)
+			if err != nil {
+				return 0, err
+			}
+			v := simd.VecLoad(u32Slice(src))
+			return uint64(simd.VecMoveMask(v)), nil
+		}})
+	// kf_vec_mul_u32(destPtr, lhsPtr, rhsPtr) — Listing 1's
+	// bpf_mm256_mul_epu32 with its load/store round trips.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfVecMulU32, Name: "enetstl_vec_mul_u32",
+		Meta: vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, Size: vecBytes},
+			{Kind: vm.ArgPtrToMem, Size: vecBytes},
+			{Kind: vm.ArgPtrToMem, Size: vecBytes},
+		}, Ret: vm.RetVoid},
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			dst, err := machine.Bytes(a1, vecBytes)
+			if err != nil {
+				return 0, err
+			}
+			lhs, err := machine.Bytes(a2, vecBytes)
+			if err != nil {
+				return 0, err
+			}
+			rhs, err := machine.Bytes(a3, vecBytes)
+			if err != nil {
+				return 0, err
+			}
+			r := simd.VecMul(simd.VecLoad(u32Slice(lhs)), simd.VecLoad(u32Slice(rhs)))
+			putU32Slice(dst, r[:])
+			return 0, nil
+		}})
+}
+
+func (l *Lib) registerRpool() {
+	handleOnly := vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{{Kind: vm.ArgHandle}}, Ret: vm.RetScalar}
+	// kf_rpool_next(handle) -> u32.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfRpoolNext, Name: "enetstl_rpool_next", Meta: handleOnly,
+		Impl: func(machine *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			o, err := machine.Object(a1)
+			if err != nil {
+				return 0, err
+			}
+			p, ok := o.(*rpool.Pool)
+			if !ok {
+				return 0, vm.ErrBadHandle
+			}
+			return uint64(p.Next()), nil
+		}})
+	// kf_rpool_fill(handle, outPtr, outBytes): one call per packet
+	// instead of one helper call per row.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfRpoolFill, Name: "enetstl_rpool_fill",
+		Meta: vm.KfuncMeta{NumArgs: 3, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgHandle}, {Kind: vm.ArgPtrToMem, SizeArg: 3}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetVoid},
+		Impl: func(machine *vm.VM, a1, a2, a3, _, _ uint64) (uint64, error) {
+			o, err := machine.Object(a1)
+			if err != nil {
+				return 0, err
+			}
+			p, ok := o.(*rpool.Pool)
+			if !ok {
+				return 0, vm.ErrBadHandle
+			}
+			out, err := machine.Bytes(a2, int(a3))
+			if err != nil {
+				return 0, err
+			}
+			n := int(a3) / 4
+			for i := 0; i < n; i++ {
+				v := p.Next()
+				j := i * 4
+				out[j], out[j+1], out[j+2], out[j+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			}
+			return 0, nil
+		}})
+	// kf_rpool_refill(bufPtr, bytes): refill a program-resident random
+	// pool in place (the "automatic reinjection" of §4.3). Programs read
+	// the pooled numbers directly from map memory and call this only
+	// when the pool drains, amortizing the call to ~zero per packet.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfRpoolRefill, Name: "enetstl_rpool_refill",
+		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetVoid},
+		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
+			buf, err := machine.Bytes(a1, int(a2))
+			if err != nil {
+				return 0, err
+			}
+			for j := 0; j+4 <= len(buf); j += 4 {
+				v := machine.Rand32()
+				buf[j], buf[j+1], buf[j+2], buf[j+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+			}
+			return 0, nil
+		}})
+
+	// kf_geo_next(handle) -> geometric skip count.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfGeoNext, Name: "enetstl_geo_next", Meta: handleOnly,
+		Impl: func(machine *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			o, err := machine.Object(a1)
+			if err != nil {
+				return 0, err
+			}
+			g, ok := o.(*rpool.GeoPool)
+			if !ok {
+				return 0, vm.ErrBadHandle
+			}
+			return uint64(g.Next()), nil
+		}})
+}
+
+func (l *Lib) buckets(machine *vm.VM, h uint64) (*listbuckets.ListBuckets, error) {
+	o, err := machine.Object(h)
+	if err != nil {
+		return nil, err
+	}
+	lb, ok := o.(*listbuckets.ListBuckets)
+	if !ok {
+		return nil, vm.ErrBadHandle
+	}
+	return lb, nil
+}
+
+func (l *Lib) registerBuckets() {
+	// kf_bktlist_new(nBuckets, elemSize) -> handle.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktNew, Name: "enetstl_bktlist_new",
+		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgScalar}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetHandle, Acquire: true, MayBeNull: true},
+		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
+			if a1 == 0 || a1 > 1<<20 || a2 == 0 || a2 > uint64(l.cfg.MaxBktElem) {
+				return 0, nil // allocation failure -> NULL
+			}
+			return machine.AllocHandle(listbuckets.New(int(a1), int(a2), 64)), nil
+		}})
+	// kf_bktlist_destroy(handle).
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktDestroy, Name: "enetstl_bktlist_destroy",
+		Meta: vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{{Kind: vm.ArgHandle}},
+			Ret: vm.RetVoid, ReleaseArg: 1},
+		Impl: func(machine *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
+			return 0, machine.FreeHandle(a1)
+		}})
+
+	insert := func(id int32, name string, front bool) {
+		l.vm.RegisterKfunc(&vm.Kfunc{ID: id, Name: name,
+			Meta: vm.KfuncMeta{NumArgs: 4, Args: [5]vm.ArgSpec{
+				{Kind: vm.ArgHandle}, {Kind: vm.ArgScalar},
+				{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
+			}, Ret: vm.RetScalar},
+			Impl: func(machine *vm.VM, a1, a2, a3, a4, _ uint64) (uint64, error) {
+				lb, err := l.buckets(machine, a1)
+				if err != nil {
+					return 0, err
+				}
+				if int(a2) >= lb.NumBuckets() || int(a4) != lb.ElemSize() {
+					return ^uint64(0), nil
+				}
+				data, err := machine.Bytes(a3, int(a4))
+				if err != nil {
+					return 0, err
+				}
+				if front {
+					lb.InsertFront(int(a2), data)
+				} else {
+					lb.PushBack(int(a2), data)
+				}
+				return 0, nil
+			}})
+	}
+	insert(KfBktInsertFront, "enetstl_bktlist_insert_front", true)
+	insert(KfBktPushBack, "enetstl_bktlist_push_back", false)
+
+	// kf_bktlist_pop_front(handle, idx, outPtr, outLen) -> 1 or 0.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktPopFront, Name: "enetstl_bktlist_pop_front",
+		Meta: vm.KfuncMeta{NumArgs: 4, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgHandle}, {Kind: vm.ArgScalar},
+			{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, a3, a4, _ uint64) (uint64, error) {
+			lb, err := l.buckets(machine, a1)
+			if err != nil {
+				return 0, err
+			}
+			if int(a2) >= lb.NumBuckets() || int(a4) < lb.ElemSize() {
+				return 0, nil
+			}
+			out, err := machine.Bytes(a3, int(a4))
+			if err != nil {
+				return 0, err
+			}
+			if lb.PopFront(int(a2), out) {
+				return 1, nil
+			}
+			return 0, nil
+		}})
+	// kf_bktlist_first_nonempty(handle, from) -> 1+idx or 0.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktFirstNonEmpty, Name: "enetstl_bktlist_first_nonempty",
+		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgHandle}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
+			lb, err := l.buckets(machine, a1)
+			if err != nil {
+				return 0, err
+			}
+			return uint64(lb.FirstNonEmpty(int(a2)) + 1), nil
+		}})
+	// kf_bktlist_len(handle, idx) -> element count.
+	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktLen, Name: "enetstl_bktlist_len",
+		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
+			{Kind: vm.ArgHandle}, {Kind: vm.ArgScalar},
+		}, Ret: vm.RetScalar},
+		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
+			lb, err := l.buckets(machine, a1)
+			if err != nil {
+				return 0, err
+			}
+			if int(a2) >= lb.NumBuckets() {
+				return 0, nil
+			}
+			return uint64(lb.Len(int(a2))), nil
+		}})
+}

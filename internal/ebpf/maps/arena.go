@@ -1,0 +1,83 @@
+package maps
+
+// ArenaMap is implemented by map types whose values live in stable
+// contiguous backing stores ("arenas"). The VM registers each arena as
+// one memory region at map-attach time and turns lookups into pointers
+// (arena, offset), so handing out a value pointer never allocates.
+type ArenaMap interface {
+	Map
+	// ArenaCount returns how many arenas back this map (1, or one per
+	// CPU for per-CPU maps).
+	ArenaCount() int
+	// Arena returns the i-th backing store. The returned slice must
+	// remain valid and non-reallocated for the life of the map.
+	Arena(i int) []byte
+	// LookupArena resolves key to (arena index, byte offset) without
+	// materializing a slice. ok is false when the key is absent.
+	LookupArena(key []byte) (arena, off int, ok bool)
+}
+
+// Array arena support.
+
+func (a *Array) ArenaCount() int    { return 1 }
+func (a *Array) Arena(i int) []byte { return a.data }
+
+// LookupArena resolves an array index key.
+func (a *Array) LookupArena(key []byte) (int, int, bool) {
+	if len(key) != 4 {
+		return 0, 0, false
+	}
+	idx := int(uint32(key[0]) | uint32(key[1])<<8 | uint32(key[2])<<16 | uint32(key[3])<<24)
+	if idx >= a.n {
+		return 0, 0, false
+	}
+	return 0, idx * a.valueSize, true
+}
+
+// PerCPUArray arena support: one arena per CPU; lookups resolve into the
+// currently selected CPU's arena.
+
+func (p *PerCPUArray) ArenaCount() int    { return len(p.per) }
+func (p *PerCPUArray) Arena(i int) []byte { return p.per[i].data }
+
+// LookupArena resolves an index in the current CPU's copy.
+func (p *PerCPUArray) LookupArena(key []byte) (int, int, bool) {
+	_, off, ok := p.per[p.cpu].LookupArena(key)
+	return p.cpu, off, ok
+}
+
+// Hash arena support: all values live in the vals arena.
+
+func (h *Hash) ArenaCount() int    { return 1 }
+func (h *Hash) Arena(i int) []byte { return h.vals }
+
+// LookupArena resolves key to its slot's value offset.
+func (h *Hash) LookupArena(key []byte) (int, int, bool) {
+	if len(key) != h.keySize {
+		return 0, 0, false
+	}
+	i, ok := h.find(key)
+	if !ok {
+		return 0, 0, false
+	}
+	return 0, int(i) * h.valueSize, true
+}
+
+// LRUHash arena support.
+
+func (l *LRUHash) ArenaCount() int    { return 1 }
+func (l *LRUHash) Arena(i int) []byte { return l.h.vals }
+
+// LookupArena resolves key and refreshes its recency.
+func (l *LRUHash) LookupArena(key []byte) (int, int, bool) {
+	if len(key) != l.h.keySize {
+		return 0, 0, false
+	}
+	i, ok := l.slotOf[string(key)]
+	if !ok {
+		return 0, 0, false
+	}
+	l.unlink(i)
+	l.pushFront(i)
+	return 0, int(i) * l.h.valueSize, true
+}

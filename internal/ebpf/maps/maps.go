@@ -1,0 +1,451 @@
+// Package maps implements the BPF map types used by the simulated eBPF
+// runtime: array, per-CPU array, hash, and LRU hash. Map values are
+// exposed as byte slices aliasing internal storage so the VM can hand
+// out pointers into them, exactly as bpf_map_lookup_elem does.
+package maps
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Type enumerates the supported map types.
+type Type int
+
+// Map types.
+const (
+	TypeArray Type = iota
+	TypePerCPUArray
+	TypeHash
+	TypeLRUHash
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeArray:
+		return "array"
+	case TypePerCPUArray:
+		return "percpu_array"
+	case TypeHash:
+		return "hash"
+	case TypeLRUHash:
+		return "lru_hash"
+	}
+	return fmt.Sprintf("maptype(%d)", int(t))
+}
+
+// Errors returned by map operations.
+var (
+	ErrKeySize   = errors.New("bpf map: wrong key size")
+	ErrValueSize = errors.New("bpf map: wrong value size")
+	ErrNoSpace   = errors.New("bpf map: max entries reached (E2BIG)")
+	ErrNotFound  = errors.New("bpf map: no such element (ENOENT)")
+)
+
+// Map is the interface the VM and verifier consume. Lookup returns a
+// slice aliasing the stored value (writes through it persist), or nil if
+// the key is absent.
+type Map interface {
+	Type() Type
+	KeySize() int
+	ValueSize() int
+	MaxEntries() int
+	Lookup(key []byte) []byte
+	Update(key, value []byte) error
+	Delete(key []byte) error
+}
+
+// --- Array ---
+
+// Array is a fixed-size array map indexed by a 4-byte little-endian key.
+type Array struct {
+	valueSize int
+	n         int
+	data      []byte
+}
+
+// NewArray creates an array map with n elements of valueSize bytes.
+func NewArray(valueSize, n int) *Array {
+	if valueSize <= 0 || n <= 0 {
+		panic("maps: NewArray: sizes must be positive")
+	}
+	return &Array{valueSize: valueSize, n: n, data: make([]byte, valueSize*n)}
+}
+
+func (a *Array) Type() Type      { return TypeArray }
+func (a *Array) KeySize() int    { return 4 }
+func (a *Array) ValueSize() int  { return a.valueSize }
+func (a *Array) MaxEntries() int { return a.n }
+
+// Lookup returns the element at the index encoded in key, or nil if the
+// index is out of range. Array elements always exist.
+func (a *Array) Lookup(key []byte) []byte {
+	if len(key) != 4 {
+		return nil
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx >= a.n {
+		return nil
+	}
+	off := idx * a.valueSize
+	return a.data[off : off+a.valueSize : off+a.valueSize]
+}
+
+// Update overwrites the element at the given index.
+func (a *Array) Update(key, value []byte) error {
+	if len(key) != 4 {
+		return ErrKeySize
+	}
+	if len(value) != a.valueSize {
+		return ErrValueSize
+	}
+	idx := int(binary.LittleEndian.Uint32(key))
+	if idx >= a.n {
+		return ErrNoSpace
+	}
+	copy(a.data[idx*a.valueSize:], value)
+	return nil
+}
+
+// Delete zeroes the element; array map entries cannot be removed.
+func (a *Array) Delete(key []byte) error {
+	v := a.Lookup(key)
+	if v == nil {
+		return ErrNotFound
+	}
+	clear(v)
+	return nil
+}
+
+// Data exposes the whole backing store; used by tests and native-side
+// setup code that preloads tables.
+func (a *Array) Data() []byte { return a.data }
+
+// --- PerCPUArray ---
+
+// PerCPUArray is an array map with one private copy per CPU. The VM
+// selects the copy via SetCPU; lookups then alias that copy only, which
+// models the lock-free per-CPU semantics of BPF_MAP_TYPE_PERCPU_ARRAY.
+type PerCPUArray struct {
+	per []*Array
+	cpu int
+}
+
+// NewPerCPUArray creates a per-CPU array with ncpu private copies.
+func NewPerCPUArray(valueSize, n, ncpu int) *PerCPUArray {
+	if ncpu <= 0 {
+		panic("maps: NewPerCPUArray: ncpu must be positive")
+	}
+	p := &PerCPUArray{per: make([]*Array, ncpu)}
+	for i := range p.per {
+		p.per[i] = NewArray(valueSize, n)
+	}
+	return p
+}
+
+// SetCPU selects which per-CPU copy subsequent operations address.
+func (p *PerCPUArray) SetCPU(cpu int) {
+	if cpu < 0 || cpu >= len(p.per) {
+		panic("maps: SetCPU out of range")
+	}
+	p.cpu = cpu
+}
+
+// NumCPU returns the number of per-CPU copies.
+func (p *PerCPUArray) NumCPU() int { return len(p.per) }
+
+// CPUData returns the backing store of one CPU's copy (for aggregation
+// by control-plane code, mirroring bpf_map_lookup_elem from user space).
+func (p *PerCPUArray) CPUData(cpu int) []byte { return p.per[cpu].Data() }
+
+func (p *PerCPUArray) Type() Type                 { return TypePerCPUArray }
+func (p *PerCPUArray) KeySize() int               { return 4 }
+func (p *PerCPUArray) ValueSize() int             { return p.per[0].ValueSize() }
+func (p *PerCPUArray) MaxEntries() int            { return p.per[0].MaxEntries() }
+func (p *PerCPUArray) Lookup(key []byte) []byte   { return p.per[p.cpu].Lookup(key) }
+func (p *PerCPUArray) Update(key, v []byte) error { return p.per[p.cpu].Update(key, v) }
+func (p *PerCPUArray) Delete(key []byte) error    { return p.per[p.cpu].Delete(key) }
+
+// --- Hash ---
+
+// Hash is a hash map with fixed key and value sizes, bounded capacity,
+// and open addressing over a power-of-two bucket array. Values live in a
+// contiguous arena so lookups can return stable aliasing slices.
+type Hash struct {
+	keySize, valueSize int
+	maxEntries         int
+
+	// Open-addressed index: state 0=empty, 1=used, 2=tombstone.
+	state []uint8
+	keys  []byte // slot i key at i*keySize
+	vals  []byte // slot i value at i*valueSize
+	mask  uint64
+	count int
+}
+
+// NewHash creates a hash map. Capacity is rounded up so the table stays
+// below ~85% occupancy at maxEntries.
+func NewHash(keySize, valueSize, maxEntries int) *Hash {
+	if keySize <= 0 || valueSize <= 0 || maxEntries <= 0 {
+		panic("maps: NewHash: sizes must be positive")
+	}
+	slots := 8
+	for slots < maxEntries*6/5+1 {
+		slots <<= 1
+	}
+	return &Hash{
+		keySize: keySize, valueSize: valueSize, maxEntries: maxEntries,
+		state: make([]uint8, slots),
+		keys:  make([]byte, slots*keySize),
+		vals:  make([]byte, slots*valueSize),
+		mask:  uint64(slots - 1),
+	}
+}
+
+func (h *Hash) Type() Type      { return TypeHash }
+func (h *Hash) KeySize() int    { return h.keySize }
+func (h *Hash) ValueSize() int  { return h.valueSize }
+func (h *Hash) MaxEntries() int { return h.maxEntries }
+
+// Len returns the number of stored entries.
+func (h *Hash) Len() int { return h.count }
+
+// fnv1a is the internal slot hash (the kernel uses jhash; any decent
+// mixer works here).
+func fnv1a(b []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	var x uint64 = offset
+	for _, c := range b {
+		x ^= uint64(c)
+		x *= prime
+	}
+	return x
+}
+
+func (h *Hash) keyAt(i uint64) []byte {
+	off := int(i) * h.keySize
+	return h.keys[off : off+h.keySize]
+}
+
+func (h *Hash) valAt(i uint64) []byte {
+	off := int(i) * h.valueSize
+	return h.vals[off : off+h.valueSize : off+h.valueSize]
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// find returns (slot, found). When not found, slot is the first
+// insertable position (empty or tombstone) on the probe path, or ^0 if
+// the table is somehow full.
+func (h *Hash) find(key []byte) (uint64, bool) {
+	i := fnv1a(key) & h.mask
+	insert := ^uint64(0)
+	for probes := uint64(0); probes <= h.mask; probes++ {
+		switch h.state[i] {
+		case 0:
+			if insert == ^uint64(0) {
+				insert = i
+			}
+			return insert, false
+		case 1:
+			if bytesEqual(h.keyAt(i), key) {
+				return i, true
+			}
+		case 2:
+			if insert == ^uint64(0) {
+				insert = i
+			}
+		}
+		i = (i + 1) & h.mask
+	}
+	return insert, false
+}
+
+// Lookup returns a slice aliasing the stored value, or nil.
+func (h *Hash) Lookup(key []byte) []byte {
+	if len(key) != h.keySize {
+		return nil
+	}
+	if i, ok := h.find(key); ok {
+		return h.valAt(i)
+	}
+	return nil
+}
+
+// Update inserts or overwrites key.
+func (h *Hash) Update(key, value []byte) error {
+	if len(key) != h.keySize {
+		return ErrKeySize
+	}
+	if len(value) != h.valueSize {
+		return ErrValueSize
+	}
+	i, ok := h.find(key)
+	if ok {
+		copy(h.valAt(i), value)
+		return nil
+	}
+	if h.count >= h.maxEntries || i == ^uint64(0) {
+		return ErrNoSpace
+	}
+	h.state[i] = 1
+	copy(h.keyAt(i), key)
+	copy(h.valAt(i), value)
+	h.count++
+	return nil
+}
+
+// Delete removes key.
+func (h *Hash) Delete(key []byte) error {
+	if len(key) != h.keySize {
+		return ErrKeySize
+	}
+	i, ok := h.find(key)
+	if !ok {
+		return ErrNotFound
+	}
+	h.state[i] = 2
+	clear(h.valAt(i))
+	h.count--
+	return nil
+}
+
+// --- LRUHash ---
+
+// LRUHash is a hash map that evicts the least recently used entry when
+// full. Recency is tracked with an intrusive doubly-linked list over
+// slot indices, as BPF_MAP_TYPE_LRU_HASH does per CPU.
+type LRUHash struct {
+	h          *Hash
+	prev, next []int32
+	head, tail int32 // head = most recent
+	slotOf     map[string]int32
+}
+
+// NewLRUHash creates an LRU hash map with the given capacity.
+func NewLRUHash(keySize, valueSize, maxEntries int) *LRUHash {
+	h := NewHash(keySize, valueSize, maxEntries)
+	n := len(h.state)
+	l := &LRUHash{
+		h:      h,
+		prev:   make([]int32, n),
+		next:   make([]int32, n),
+		head:   -1,
+		tail:   -1,
+		slotOf: make(map[string]int32, maxEntries),
+	}
+	return l
+}
+
+func (l *LRUHash) Type() Type      { return TypeLRUHash }
+func (l *LRUHash) KeySize() int    { return l.h.keySize }
+func (l *LRUHash) ValueSize() int  { return l.h.valueSize }
+func (l *LRUHash) MaxEntries() int { return l.h.maxEntries }
+
+// Len returns the number of stored entries.
+func (l *LRUHash) Len() int { return l.h.count }
+
+func (l *LRUHash) unlink(i int32) {
+	if l.prev[i] >= 0 {
+		l.next[l.prev[i]] = l.next[i]
+	} else {
+		l.head = l.next[i]
+	}
+	if l.next[i] >= 0 {
+		l.prev[l.next[i]] = l.prev[i]
+	} else {
+		l.tail = l.prev[i]
+	}
+}
+
+func (l *LRUHash) pushFront(i int32) {
+	l.prev[i] = -1
+	l.next[i] = l.head
+	if l.head >= 0 {
+		l.prev[l.head] = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+// Lookup returns the value and marks the entry most recently used.
+func (l *LRUHash) Lookup(key []byte) []byte {
+	if len(key) != l.h.keySize {
+		return nil
+	}
+	i, ok := l.slotOf[string(key)]
+	if !ok {
+		return nil
+	}
+	l.unlink(i)
+	l.pushFront(i)
+	return l.h.valAt(uint64(i))
+}
+
+// Update inserts or refreshes key, evicting the LRU entry when full.
+func (l *LRUHash) Update(key, value []byte) error {
+	if len(key) != l.h.keySize {
+		return ErrKeySize
+	}
+	if len(value) != l.h.valueSize {
+		return ErrValueSize
+	}
+	if i, ok := l.slotOf[string(key)]; ok {
+		copy(l.h.valAt(uint64(i)), value)
+		l.unlink(i)
+		l.pushFront(i)
+		return nil
+	}
+	if l.h.count >= l.h.maxEntries {
+		// Evict least recently used.
+		victim := l.tail
+		if victim < 0 {
+			return ErrNoSpace
+		}
+		vkey := string(l.h.keyAt(uint64(victim)))
+		l.unlink(victim)
+		delete(l.slotOf, vkey)
+		l.h.state[victim] = 2
+		l.h.count--
+	}
+	if err := l.h.Update(key, value); err != nil {
+		return err
+	}
+	i, _ := l.h.find(key)
+	l.slotOf[string(key)] = int32(i)
+	l.pushFront(int32(i))
+	return nil
+}
+
+// Delete removes key.
+func (l *LRUHash) Delete(key []byte) error {
+	if len(key) != l.h.keySize {
+		return ErrKeySize
+	}
+	i, ok := l.slotOf[string(key)]
+	if !ok {
+		return ErrNotFound
+	}
+	l.unlink(i)
+	delete(l.slotOf, string(key))
+	l.h.state[i] = 2
+	clear(l.h.valAt(uint64(i)))
+	l.h.count--
+	return nil
+}

@@ -1,0 +1,225 @@
+package maps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func key4(i uint32) []byte {
+	var k [4]byte
+	binary.LittleEndian.PutUint32(k[:], i)
+	return k[:]
+}
+
+func TestArrayBasics(t *testing.T) {
+	a := NewArray(8, 4)
+	if a.Lookup(key4(4)) != nil {
+		t.Fatal("out-of-range index returned a value")
+	}
+	v := a.Lookup(key4(2))
+	if v == nil || len(v) != 8 {
+		t.Fatalf("lookup: %v", v)
+	}
+	copy(v, "ABCDEFGH") // writes alias backing store
+	if !bytes.Equal(a.Lookup(key4(2)), []byte("ABCDEFGH")) {
+		t.Fatal("aliasing write lost")
+	}
+	if err := a.Delete(key4(2)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Lookup(key4(2)), make([]byte, 8)) {
+		t.Fatal("delete did not zero")
+	}
+	if err := a.Update(key4(1), []byte("12345678")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Update(key4(1), []byte("short")); err != ErrValueSize {
+		t.Fatalf("short value: %v", err)
+	}
+	if err := a.Update([]byte{1}, []byte("12345678")); err != ErrKeySize {
+		t.Fatalf("short key: %v", err)
+	}
+}
+
+func TestArrayArena(t *testing.T) {
+	a := NewArray(16, 8)
+	if a.ArenaCount() != 1 || len(a.Arena(0)) != 128 {
+		t.Fatal("arena shape wrong")
+	}
+	_, off, ok := a.LookupArena(key4(3))
+	if !ok || off != 48 {
+		t.Fatalf("LookupArena: off=%d ok=%v", off, ok)
+	}
+	if _, _, ok := a.LookupArena(key4(8)); ok {
+		t.Fatal("OOB index resolved")
+	}
+}
+
+func TestHashBasics(t *testing.T) {
+	h := NewHash(8, 4, 100)
+	k := []byte("12345678")
+	if h.Lookup(k) != nil {
+		t.Fatal("missing key found")
+	}
+	if err := h.Update(k, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(h.Lookup(k), []byte{1, 2, 3, 4}) {
+		t.Fatal("roundtrip failed")
+	}
+	if err := h.Update(k, []byte{9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != 1 {
+		t.Fatalf("len = %d after overwrite", h.Len())
+	}
+	if err := h.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Delete(k); err != ErrNotFound {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestHashCapacity(t *testing.T) {
+	h := NewHash(8, 8, 10)
+	var k [8]byte
+	for i := 0; i < 10; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i))
+		if err := h.Update(k[:], k[:]); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	binary.LittleEndian.PutUint64(k[:], 10)
+	if err := h.Update(k[:], k[:]); err != ErrNoSpace {
+		t.Fatalf("overfill: %v", err)
+	}
+}
+
+// TestHashModel drives random ops against a Go map.
+func TestHashModel(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := NewHash(8, 8, 64)
+		model := map[uint64][8]byte{}
+		for op := 0; op < 400; op++ {
+			var k, v [8]byte
+			ki := uint64(rng.Intn(96))
+			binary.LittleEndian.PutUint64(k[:], ki)
+			rng.Read(v[:])
+			switch rng.Intn(3) {
+			case 0:
+				if len(model) < 64 || hasKey(model, ki) {
+					if h.Update(k[:], v[:]) == nil {
+						model[ki] = v
+					}
+				}
+			case 1:
+				got := h.Lookup(k[:])
+				want, ok := model[ki]
+				if ok != (got != nil) {
+					return false
+				}
+				if ok && !bytes.Equal(got, want[:]) {
+					return false
+				}
+			case 2:
+				err := h.Delete(k[:])
+				if _, ok := model[ki]; ok != (err == nil) {
+					return false
+				}
+				delete(model, ki)
+			}
+			if h.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func hasKey(m map[uint64][8]byte, k uint64) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func TestHashTombstoneReuse(t *testing.T) {
+	// Insert/delete churn far beyond capacity must keep working
+	// (tombstones must be reusable).
+	h := NewHash(8, 8, 4)
+	var k [8]byte
+	for i := 0; i < 1000; i++ {
+		binary.LittleEndian.PutUint64(k[:], uint64(i))
+		if err := h.Update(k[:], k[:]); err != nil {
+			t.Fatalf("churn insert %d: %v", i, err)
+		}
+		if err := h.Delete(k[:]); err != nil {
+			t.Fatalf("churn delete %d: %v", i, err)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	l := NewLRUHash(8, 8, 3)
+	var k [8]byte
+	put := func(i uint64) {
+		binary.LittleEndian.PutUint64(k[:], i)
+		if err := l.Update(k[:], k[:]); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	get := func(i uint64) bool {
+		binary.LittleEndian.PutUint64(k[:], i)
+		return l.Lookup(k[:]) != nil
+	}
+	put(1)
+	put(2)
+	put(3)
+	get(1) // refresh 1
+	put(4) // evicts 2 (least recently used)
+	if get(2) {
+		t.Fatal("LRU victim survived")
+	}
+	if !get(1) || !get(3) || !get(4) {
+		t.Fatal("wrong entry evicted")
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestPerCPUIsolation(t *testing.T) {
+	p := NewPerCPUArray(4, 2, 3)
+	p.SetCPU(1)
+	if err := p.Update(key4(0), []byte{7, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p.SetCPU(0)
+	if p.Lookup(key4(0))[0] != 0 {
+		t.Fatal("cpu0 sees cpu1's write")
+	}
+	if p.CPUData(1)[0] != 7 {
+		t.Fatal("cpu1 data lost")
+	}
+	if p.NumCPU() != 3 {
+		t.Fatal("NumCPU wrong")
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for m, want := range map[Map]string{
+		NewArray(4, 1):          "array",
+		NewPerCPUArray(4, 1, 1): "percpu_array",
+		NewHash(4, 4, 4):        "hash",
+		NewLRUHash(4, 4, 4):     "lru_hash",
+	} {
+		if got := m.Type().String(); got != want {
+			t.Fatalf("type = %q, want %q", got, want)
+		}
+	}
+}

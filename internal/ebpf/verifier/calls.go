@@ -1,0 +1,294 @@
+package verifier
+
+import (
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/vm"
+)
+
+// argRegs are the five argument registers in call order.
+var argRegs = [5]isa.Reg{isa.R1, isa.R2, isa.R3, isa.R4, isa.R5}
+
+// clobberCall models the ABI: R1-R5 are caller-saved and become
+// unreadable after the call; R0 receives ret.
+func clobberCall(st *vstate, ret regState) {
+	for _, r := range argRegs {
+		st.regs[r] = regState{}
+	}
+	st.regs[isa.R0] = ret
+}
+
+// checkMemArg validates that reg points to size accessible bytes. For
+// stack memory it additionally requires initialization unless uninitOK,
+// in which case the bytes become initialized (out-parameter semantics).
+func (c *checker) checkMemArg(st *vstate, r isa.Reg, size int, uninitOK bool) error {
+	if size <= 0 {
+		return rejectf(st.pc, "argument %s: non-positive memory size %d", r, size)
+	}
+	kind, lo, err := c.checkAccess(st, r, 0, size, true)
+	if err != nil {
+		return err
+	}
+	if kind == kPtrStack {
+		if st.regs[r].varMax != 0 {
+			return rejectf(st.pc, "variable-offset stack argument")
+		}
+		if !uninitOK && !st.stackReady(lo, size) {
+			return rejectf(st.pc, "argument %s: uninitialized stack bytes [%d,%d)", r, lo, lo+int64(size))
+		}
+		st.markStack(lo, size)
+	}
+	return nil
+}
+
+// checkHandleArg validates a kernel-object handle argument: it must be a
+// scalar proven non-zero, originating either from an acquire kfunc
+// (carrying a live reference) or from an 8-byte load out of map-value
+// memory followed by a null check — the kptr trust rules of §4.1.
+func (c *checker) checkHandleArg(st *vstate, r isa.Reg) error {
+	s := st.regs[r]
+	if s.kind != kScalar {
+		return rejectf(st.pc, "argument %s: expected object handle, got non-scalar", r)
+	}
+	if s.known && s.val == 0 {
+		return rejectf(st.pc, "argument %s: NULL object handle", r)
+	}
+	if s.refID != 0 {
+		return nil
+	}
+	if !s.nonZero {
+		return rejectf(st.pc, "argument %s: possibly-NULL object handle (missing null check)", r)
+	}
+	if !s.fromMapMem {
+		return rejectf(st.pc, "argument %s: untrusted scalar used as object handle", r)
+	}
+	return nil
+}
+
+func (c *checker) stepCall(st *vstate, ins isa.Instruction) error {
+	if ins.Src == isa.PseudoKfuncCall {
+		return c.stepKfuncCall(st, ins)
+	}
+	return c.stepHelperCall(st, ins)
+}
+
+func (c *checker) stepHelperCall(st *vstate, ins isa.Instruction) error {
+	pc := st.pc
+	switch ins.Imm {
+	case vm.HelperMapLookup:
+		m, mapIdx, err := c.mapOf(st, isa.R1)
+		if err != nil {
+			return err
+		}
+		if err := c.checkMemArg(st, isa.R2, m.KeySize(), false); err != nil {
+			return err
+		}
+		clobberCall(st, regState{kind: kPtrMapValue, mapIdx: mapIdx, maybeNull: true})
+		return nil
+	case vm.HelperMapUpdate:
+		m, _, err := c.mapOf(st, isa.R1)
+		if err != nil {
+			return err
+		}
+		if err := c.checkMemArg(st, isa.R2, m.KeySize(), false); err != nil {
+			return err
+		}
+		if err := c.checkMemArg(st, isa.R3, m.ValueSize(), false); err != nil {
+			return err
+		}
+		if st.regs[isa.R4].kind != kScalar {
+			return rejectf(pc, "map_update flags must be scalar")
+		}
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperMapDelete:
+		m, _, err := c.mapOf(st, isa.R1)
+		if err != nil {
+			return err
+		}
+		if err := c.checkMemArg(st, isa.R2, m.KeySize(), false); err != nil {
+			return err
+		}
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperKtimeGetNS, vm.HelperGetPrandomU32:
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperSpinLock:
+		if err := c.checkMemArg(st, isa.R1, 4, false); err != nil {
+			return err
+		}
+		if st.lockDepth != 0 {
+			return rejectf(pc, "nested spin locks are not allowed")
+		}
+		st.lockDepth++
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperSpinUnlock:
+		if err := c.checkMemArg(st, isa.R1, 4, false); err != nil {
+			return err
+		}
+		if st.lockDepth == 0 {
+			return rejectf(pc, "spin unlock without a held lock")
+		}
+		st.lockDepth--
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperObjNew:
+		s := st.regs[isa.R1]
+		if s.kind != kScalar || !s.known || s.val == 0 {
+			return rejectf(pc, "obj_new size must be a non-zero constant")
+		}
+		if c.opts.ListNodeSize == 0 {
+			return rejectf(pc, "list helpers require Options.ListNodeSize (BTF type binding)")
+		}
+		if int(s.val) != c.opts.ListNodeSize {
+			return rejectf(pc, "obj_new size %d does not match declared node size %d", s.val, c.opts.ListNodeSize)
+		}
+		c.nextRef++
+		ref := c.nextRef
+		if err := st.addRef(ref); err != nil {
+			return rejectf(pc, "%v", err)
+		}
+		clobberCall(st, regState{
+			kind: kPtrMem, size: int32(vm.NodeHeaderSize + int(s.val)),
+			maybeNull: true, refID: ref,
+		})
+		return nil
+	case vm.HelperObjDrop:
+		p := st.regs[isa.R1]
+		if p.kind != kPtrMem || p.refID == 0 || p.off != 0 || p.varMax != 0 {
+			return rejectf(pc, "obj_drop requires an owned node pointer at offset 0")
+		}
+		if p.maybeNull {
+			return rejectf(pc, "obj_drop on possibly-NULL pointer")
+		}
+		st.releaseRef(p.refID)
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperListPushFront, vm.HelperListPushBack:
+		if st.lockDepth == 0 {
+			return rejectf(pc, "list push requires the spin lock to be held")
+		}
+		if err := c.checkMemArg(st, isa.R1, vm.ListHeadSize, false); err != nil {
+			return err
+		}
+		p := st.regs[isa.R2]
+		if p.kind != kPtrMem || p.refID == 0 || p.off != 0 || p.varMax != 0 {
+			return rejectf(pc, "list push requires an owned node pointer at offset 0")
+		}
+		if p.maybeNull {
+			return rejectf(pc, "list push of possibly-NULL node")
+		}
+		st.releaseRef(p.refID) // ownership transfers to the list
+		clobberCall(st, scalarUnknown())
+		return nil
+	case vm.HelperListPopFront, vm.HelperListPopBack:
+		if st.lockDepth == 0 {
+			return rejectf(pc, "list pop requires the spin lock to be held")
+		}
+		if c.opts.ListNodeSize == 0 {
+			return rejectf(pc, "list helpers require Options.ListNodeSize (BTF type binding)")
+		}
+		if err := c.checkMemArg(st, isa.R1, vm.ListHeadSize, false); err != nil {
+			return err
+		}
+		c.nextRef++
+		ref := c.nextRef
+		if err := st.addRef(ref); err != nil {
+			return rejectf(pc, "%v", err)
+		}
+		clobberCall(st, regState{
+			kind: kPtrMem, size: int32(vm.NodeHeaderSize + c.opts.ListNodeSize),
+			maybeNull: true, refID: ref,
+		})
+		return nil
+	case vm.HelperKptrXchg:
+		if err := c.checkMemArg(st, isa.R1, 8, false); err != nil {
+			return err
+		}
+		s := st.regs[isa.R2]
+		if s.kind != kScalar {
+			return rejectf(pc, "kptr_xchg new value must be a handle or 0")
+		}
+		if s.refID != 0 {
+			st.releaseRef(s.refID) // ownership moves into the map
+		}
+		c.nextRef++
+		ref := c.nextRef
+		if err := st.addRef(ref); err != nil {
+			return rejectf(pc, "%v", err)
+		}
+		// The old value comes back owned; the program must release it or
+		// prove it NULL.
+		clobberCall(st, regState{kind: kScalar, umax: unbounded, refID: ref})
+		return nil
+	}
+	return rejectf(pc, "call to unknown helper %d", ins.Imm)
+}
+
+func (c *checker) stepKfuncCall(st *vstate, ins isa.Instruction) error {
+	pc := st.pc
+	k := c.vm.KfuncByID(ins.Imm)
+	if k == nil {
+		return rejectf(pc, "call to unknown kfunc %d", ins.Imm)
+	}
+	meta := k.Meta
+	for i := 0; i < meta.NumArgs; i++ {
+		r := argRegs[i]
+		spec := meta.Args[i]
+		s := st.regs[r]
+		switch spec.Kind {
+		case vm.ArgScalar:
+			if s.kind != kScalar {
+				return rejectf(pc, "kfunc %s: argument %d must be scalar", k.Name, i+1)
+			}
+		case vm.ArgHandle:
+			if err := c.checkHandleArg(st, r); err != nil {
+				return err
+			}
+		case vm.ArgPtrToMem:
+			size := spec.Size
+			if size == 0 && spec.SizeArg > 0 {
+				sz := st.regs[argRegs[spec.SizeArg-1]]
+				if sz.kind != kScalar || !sz.known {
+					return rejectf(pc, "kfunc %s: size argument %d must be a known constant", k.Name, spec.SizeArg)
+				}
+				size = int(sz.val)
+			}
+			// Out-parameter buffers may be uninitialized stack.
+			if err := c.checkMemArg(st, r, size, true); err != nil {
+				return err
+			}
+		}
+	}
+	if meta.ReleaseArg > 0 {
+		// Release the reference carried by the releasing argument, if
+		// any (handles loaded from map memory carry none).
+		if ref := st.regs[argRegs[meta.ReleaseArg-1]].refID; ref != 0 {
+			st.releaseRef(ref)
+		}
+	}
+
+	var ret regState
+	switch meta.Ret {
+	case vm.RetScalar, vm.RetVoid:
+		ret = scalarUnknown()
+	case vm.RetHandle:
+		ret = scalarUnknown()
+		if !meta.MayBeNull {
+			ret.nonZero = true
+			ret.fromMapMem = true // trusted handle
+		}
+	case vm.RetMem:
+		ret = regState{kind: kPtrMem, size: int32(meta.MemSize), maybeNull: meta.MayBeNull}
+	}
+	if meta.Acquire {
+		c.nextRef++
+		if err := st.addRef(c.nextRef); err != nil {
+			return rejectf(pc, "%v", err)
+		}
+		ret.refID = c.nextRef
+	}
+	clobberCall(st, ret)
+	return nil
+}

@@ -1,0 +1,187 @@
+package verifier_test
+
+import (
+	"testing"
+
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+)
+
+func TestAcceptBoundsRefinedByBranch(t *testing.T) {
+	// An unmasked index becomes safe after an explicit range check —
+	// the JLT refinement path.
+	m, fd := newVMWithMap(t) // value size 24
+	b := asm.New()
+	b.Load(asm.R7, asm.R1, 0, 4)
+	b.JmpImm(asm.JLT, asm.R7, 16, "in_range")
+	b.MovImm(asm.R0, 0).Exit()
+	b.Label("in_range")
+	b.StoreImm(asm.R10, -4, 0, 4)
+	b.LoadMap(asm.R1, fd)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JNE, asm.R0, 0, "hit")
+	b.MovImm(asm.R0, 0).Exit()
+	b.Label("hit")
+	b.Add(asm.R0, asm.R7) // idx in [0,15], access [idx, idx+8) <= 23+..
+	b.Load(asm.R1, asm.R0, 0, 8)
+	b.MovImm(asm.R0, 0).Exit()
+	if err := verifyProg(t, m, b, verifier.Options{}); err != nil {
+		t.Fatalf("branch-refined bounds rejected: %v", err)
+	}
+}
+
+func TestAcceptScalarPlusPointer(t *testing.T) {
+	// The commutative form: scalar += pointer.
+	m, fd := newVMWithMap(t)
+	b := asm.New()
+	b.Load(asm.R7, asm.R1, 0, 4)
+	b.AndImm(asm.R7, 15)
+	b.StoreImm(asm.R10, -4, 0, 4)
+	b.LoadMap(asm.R1, fd)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JNE, asm.R0, 0, "hit")
+	b.MovImm(asm.R0, 0).Exit()
+	b.Label("hit")
+	b.Add(asm.R7, asm.R0) // scalar + ptr -> ptr
+	b.Load(asm.R1, asm.R7, 0, 8)
+	b.MovImm(asm.R0, 0).Exit()
+	if err := verifyProg(t, m, b, verifier.Options{}); err != nil {
+		t.Fatalf("scalar+pointer rejected: %v", err)
+	}
+}
+
+func TestRejectPointerCompare(t *testing.T) {
+	m := vm.New()
+	b := asm.New()
+	b.Mov(asm.R2, asm.R10)
+	b.Jmp(asm.JGT, asm.R2, asm.R1, "x")
+	b.Label("x")
+	b.MovImm(asm.R0, 0).Exit()
+	wantReject(t, verifyProg(t, m, b, verifier.Options{}), "ordered comparison on pointer")
+}
+
+func TestRejectPointerMul(t *testing.T) {
+	m := vm.New()
+	b := asm.New()
+	b.Mov(asm.R2, asm.R10)
+	b.MulImm(asm.R2, 2)
+	b.MovImm(asm.R0, 0).Exit()
+	wantReject(t, verifyProg(t, m, b, verifier.Options{}), "pointer")
+}
+
+func TestRejectPointerSpill(t *testing.T) {
+	m := vm.New()
+	b := asm.New()
+	b.Store(asm.R10, -8, asm.R1, 8) // spill ctx pointer
+	b.MovImm(asm.R0, 0).Exit()
+	wantReject(t, verifyProg(t, m, b, verifier.Options{}), "spill")
+}
+
+func TestJSETBranches(t *testing.T) {
+	m := vm.New()
+	b := asm.New()
+	b.Load(asm.R1, asm.R1, 0, 4)
+	b.JmpImm(asm.JSET, asm.R1, 0x80, "set")
+	b.MovImm(asm.R0, 1).Exit()
+	b.Label("set")
+	b.MovImm(asm.R0, 2).Exit()
+	if err := verifyProg(t, m, b, verifier.Options{}); err != nil {
+		t.Fatalf("JSET rejected: %v", err)
+	}
+}
+
+func TestJmp32Branches(t *testing.T) {
+	m := vm.New()
+	b := asm.New()
+	b.Load(asm.R1, asm.R1, 0, 8)
+	b.Jmp32Imm(asm.JEQ, asm.R1, 7, "eq")
+	b.MovImm(asm.R0, 1).Exit()
+	b.Label("eq")
+	b.MovImm(asm.R0, 2).Exit()
+	if err := verifyProg(t, m, b, verifier.Options{}); err != nil {
+		t.Fatalf("32-bit jump rejected: %v", err)
+	}
+}
+
+// TestPruningMakesDataLoopsTractable: a loop whose per-iteration states
+// are equal modulo reference identity must verify within the budget —
+// the state-pruning mechanism the skip-list programs rely on.
+func TestPruningMakesDataLoopsTractable(t *testing.T) {
+	m := vm.New()
+	m.RegisterKfunc(&vm.Kfunc{
+		ID: 300, Name: "mem_next",
+		Impl: func(machine *vm.VM, _, _, _, _, _ uint64) (uint64, error) { return 0, nil },
+		Meta: vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{{Kind: vm.ArgPtrToMem, Size: 16}},
+			Ret: vm.RetMem, MemSize: 16, Acquire: true, MayBeNull: true},
+	})
+	m.RegisterKfunc(&vm.Kfunc{
+		ID: 301, Name: "mem_rel",
+		Impl: func(machine *vm.VM, _, _, _, _, _ uint64) (uint64, error) { return 0, nil },
+		Meta: vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{{Kind: vm.ArgPtrToMem, Size: 16}},
+			Ret: vm.RetVoid, ReleaseArg: 1},
+	})
+	m.RegisterKfunc(&vm.Kfunc{
+		ID: 302, Name: "mem_root",
+		Impl: func(machine *vm.VM, _, _, _, _, _ uint64) (uint64, error) { return 0, nil },
+		Meta: vm.KfuncMeta{Ret: vm.RetMem, MemSize: 16, Acquire: true, MayBeNull: true},
+	})
+
+	b := asm.New()
+	b.Kfunc(302)
+	b.JmpImm(asm.JNE, asm.R0, 0, "ok")
+	b.MovImm(asm.R0, 0).Exit()
+	b.Label("ok")
+	b.Mov(asm.R7, asm.R0)
+	// 256 unrolled iterations, each forking on the null check: without
+	// pruning this explodes; with it the states merge every round.
+	for i := 0; i < 256; i++ {
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(300)
+		b.JmpImm(asm.JEQ, asm.R0, 0, "done")
+		b.Mov(asm.R8, asm.R0)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(301)
+		b.Mov(asm.R7, asm.R8)
+		b.MovImm(asm.R8, 0)
+	}
+	b.Label("done")
+	b.Mov(asm.R1, asm.R7)
+	b.Kfunc(301)
+	b.MovImm(asm.R0, 0)
+	b.Exit()
+	if err := verifyProg(t, m, b, verifier.Options{StateBudget: 200000}); err != nil {
+		t.Fatalf("pruned traversal loop rejected: %v", err)
+	}
+}
+
+func TestModByZeroConstRejected(t *testing.T) {
+	m := vm.New()
+	b := asm.New()
+	b.Load(asm.R0, asm.R1, 0, 4)
+	b.ModImm(asm.R0, 0)
+	b.Exit()
+	wantReject(t, verifyProg(t, m, b, verifier.Options{}), "zero")
+}
+
+func TestKptrXchgRequiresOldHandling(t *testing.T) {
+	// kptr_xchg returns an owned (possibly NULL) old value; dropping it
+	// without a release or a null proof is a leak.
+	m, fd := newVMWithMap(t)
+	b := asm.New()
+	b.StoreImm(asm.R10, -4, 0, 4)
+	b.LoadMap(asm.R1, fd)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JNE, asm.R0, 0, "hit")
+	b.MovImm(asm.R0, 0).Exit()
+	b.Label("hit")
+	b.Mov(asm.R1, asm.R0)
+	b.MovImm(asm.R2, 0)
+	b.Call(vm.HelperKptrXchg)
+	b.MovImm(asm.R0, 0)
+	b.Exit() // old value leaked
+	wantReject(t, verifyProg(t, m, b, verifier.Options{}), "unreleased")
+}

@@ -1,0 +1,101 @@
+package vm
+
+import "fmt"
+
+// ArgKind classifies a kfunc/helper argument for the verifier.
+type ArgKind int
+
+// Argument kinds.
+const (
+	// ArgScalar is a plain number (sizes, indices, flags, handles).
+	ArgScalar ArgKind = iota
+	// ArgPtrToMem is a pointer to readable+writable memory. Size: the
+	// Size field if non-zero, else the value of the argument named by
+	// SizeArg, else 1.
+	ArgPtrToMem
+	// ArgHandle is an opaque kernel-object handle (kptr analogue). The
+	// verifier requires a trusted handle: one obtained from an acquire
+	// kfunc or loaded via kptr_xchg, and null-checked.
+	ArgHandle
+)
+
+// ArgSpec describes one kfunc argument for verification.
+type ArgSpec struct {
+	Kind ArgKind
+	// Size is the fixed byte size for ArgPtrToMem (0 = use SizeArg).
+	Size int
+	// SizeArg is the 1-based index of a scalar argument giving the
+	// memory size at runtime (0 = none). The verifier requires it to be
+	// a verification-time constant.
+	SizeArg int
+}
+
+// RetKind classifies a kfunc return value for the verifier.
+type RetKind int
+
+// Return kinds.
+const (
+	// RetScalar: plain number in R0.
+	RetScalar RetKind = iota
+	// RetMem: pointer to memory of MemSize bytes.
+	RetMem
+	// RetHandle: opaque object handle.
+	RetHandle
+	// RetVoid: R0 is not meaningful.
+	RetVoid
+)
+
+// KfuncMeta is the annotation block a kfunc exposes to the verifier —
+// the analogue of KF_ACQUIRE/KF_RELEASE/KF_RET_NULL flags plus argument
+// suffix annotations in the paper's §4.1.
+type KfuncMeta struct {
+	NumArgs int
+	Args    [5]ArgSpec
+
+	Ret     RetKind
+	MemSize int // accessible size for RetMem
+
+	// MayBeNull (KF_RET_NULL): programs must null-check R0 before use.
+	MayBeNull bool
+	// Acquire (KF_ACQUIRE): the return value is a reference the program
+	// must release or persist before exit.
+	Acquire bool
+	// ReleaseArg (KF_RELEASE): 1-based argument index whose reference is
+	// consumed by this call; 0 = none.
+	ReleaseArg int
+}
+
+// KfuncImpl is a native kfunc implementation.
+type KfuncImpl func(vm *VM, a1, a2, a3, a4, a5 uint64) (uint64, error)
+
+// Kfunc couples a kfunc implementation with its verifier metadata.
+type Kfunc struct {
+	ID   int32
+	Name string
+	Impl KfuncImpl
+	Meta KfuncMeta
+}
+
+// RegisterKfunc installs a kfunc, as loading the eNetSTL module would.
+func (vm *VM) RegisterKfunc(k *Kfunc) {
+	if k.ID == 0 {
+		panic("vm: kfunc ID 0 is reserved")
+	}
+	vm.kfuncs[k.ID] = k
+}
+
+// KfuncByID returns the registered kfunc with the given ID, or nil.
+func (vm *VM) KfuncByID(id int32) *Kfunc { return vm.kfuncs[id] }
+
+func (vm *VM) callKfunc(id int32, r *[11]uint64) error {
+	k, ok := vm.kfuncs[id]
+	if !ok {
+		return fmt.Errorf("%w: id %d", ErrNoKfunc, id)
+	}
+	ret, err := k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
+	if err != nil {
+		return fmt.Errorf("kfunc %s: %w", k.Name, err)
+	}
+	r[0] = ret
+	return nil
+}

@@ -1,0 +1,99 @@
+package vm_test
+
+import (
+	"testing"
+
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/vm"
+)
+
+// Interpreter cost model: these benchmarks quantify the per-instruction
+// dispatch, per-helper-call, and per-kfunc-call costs the reproduction's
+// relative results rest on (see DESIGN.md §1).
+
+func BenchmarkDispatchALU(b *testing.B) {
+	m := vm.New()
+	bb := asm.New()
+	bb.MovImm(asm.R0, 0)
+	for i := 0; i < 64; i++ {
+		bb.AddImm(asm.R0, 1)
+	}
+	bb.Exit()
+	prog, err := m.Load("alu", bb.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHelperCall(b *testing.B) {
+	m := vm.New()
+	bb := asm.New()
+	for i := 0; i < 16; i++ {
+		bb.Call(vm.HelperGetPrandomU32)
+	}
+	bb.Exit()
+	prog, err := m.Load("helpers", bb.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMapLookupHelper(b *testing.B) {
+	m := vm.New()
+	fd := m.RegisterMap(maps.NewArray(8, 8))
+	bb := asm.New()
+	bb.StoreImm(asm.R10, -4, 3, 4)
+	for i := 0; i < 16; i++ {
+		bb.LoadMap(asm.R1, fd)
+		bb.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+		bb.Call(vm.HelperMapLookup)
+	}
+	bb.Exit()
+	prog, err := m.Load("lookups", bb.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKfuncCall(b *testing.B) {
+	m := vm.New()
+	m.RegisterKfunc(&vm.Kfunc{
+		ID: 999, Name: "nop",
+		Impl: func(machine *vm.VM, _, _, _, _, _ uint64) (uint64, error) { return 0, nil },
+		Meta: vm.KfuncMeta{Ret: vm.RetScalar},
+	})
+	bb := asm.New()
+	for i := 0; i < 16; i++ {
+		bb.Kfunc(999)
+	}
+	bb.Exit()
+	prog, err := m.Load("kfuncs", bb.MustProgram())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRuns executes each registered experiment with a
+// tiny workload and checks it produces a well-formed table. This is the
+// integration test for the whole repro pipeline: NFs in all flavours,
+// harness, and rendering.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep is slow; skipped with -short")
+	}
+	opts := Options{Packets: 1500, Trials: 1}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tb, err := r.Run(opts)
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tb.ID != r.ID {
+				t.Fatalf("table ID %q, want %q", tb.ID, r.ID)
+			}
+			if len(tb.Rows) == 0 {
+				t.Fatalf("%s: empty table", r.ID)
+			}
+			for _, row := range tb.Rows {
+				if len(row) != len(tb.Header) {
+					t.Fatalf("%s: row %v does not match header %v", r.ID, row, tb.Header)
+				}
+			}
+			out := tb.Render()
+			if !strings.Contains(out, r.ID) {
+				t.Fatalf("%s: render missing ID:\n%s", r.ID, out)
+			}
+		})
+	}
+}
+
+// TestShapeCountMin asserts the paper's core finding on the count-min
+// experiment: eNetSTL beats pure eBPF at every row count, and the
+// advantage grows with the number of hash functions (Fig. 3e's shape).
+func TestShapeCountMin(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks are slow; skipped with -short")
+	}
+	tb, err := Fig3e(Options{Packets: 6000, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, row := range tb.Rows {
+		ratio, err := strconv.ParseFloat(strings.TrimSuffix(row[4], "x"), 64)
+		if err != nil {
+			t.Fatalf("row %d ratio %q: %v", i, row[4], err)
+		}
+		if ratio <= 1 {
+			t.Fatalf("d=%s: eNetSTL (%sx) did not beat eBPF", row[0], row[4])
+		}
+		if i > 0 && ratio < prev*0.7 {
+			t.Fatalf("advantage shrank sharply with d: %v", tb.Rows)
+		}
+		prev = ratio
+	}
+}
+
+// TestShapeFig6 asserts the low-level interfaces degrade throughput.
+func TestShapeFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shape checks are slow; skipped with -short")
+	}
+	tb, err := Fig6(Options{Packets: 6000, Trials: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		deg, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "%"), 64)
+		if err != nil {
+			t.Fatalf("degradation %q: %v", row[3], err)
+		}
+		if deg <= 0 {
+			t.Fatalf("%s: low-level interface did not degrade (%s)", row[0], row[3])
+		}
+	}
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"enetstl/internal/harness"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/bloom"
+	"enetstl/internal/nf/cmsketch"
+	"enetstl/internal/nf/cuckoofilter"
+	"enetstl/internal/nf/cuckooswitch"
+	"enetstl/internal/nf/daryhash"
+	"enetstl/internal/nf/edf"
+	"enetstl/internal/nf/eiffel"
+	"enetstl/internal/nf/heavykeeper"
+	"enetstl/internal/nf/nitrosketch"
+	"enetstl/internal/nf/skiplist"
+	"enetstl/internal/nf/spacesaving"
+	"enetstl/internal/nf/timewheel"
+	"enetstl/internal/nf/tss"
+	"enetstl/internal/nf/vbf"
+	"enetstl/internal/pktgen"
+)
+
+// measureRow runs one instance over trace and returns Mpps text.
+func measureRow(inst nf.Instance, trace *pktgen.Trace, trials int) (harness.Result, error) {
+	return harness.Throughput(inst, trace, trials)
+}
+
+// sweep builds one table row per configuration with one column per
+// flavour plus eNetSTL-vs-eBPF gain and eNetSTL-vs-kernel gap.
+func sweep(id, title, xName string, xs []string,
+	build func(x int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error),
+	opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	t := &Table{
+		ID: id, Title: title,
+		Header: []string{xName, "Kernel(Mpps)", "eBPF(Mpps)", "eNetSTL(Mpps)", "eNetSTL/eBPF", "vs kernel"},
+	}
+	for xi, x := range xs {
+		var res [3]harness.Result
+		have := [3]bool{}
+		for fi, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+			inst, trace, err := build(xi, flavor)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s %v: %w", id, x, flavor, err)
+			}
+			if inst == nil {
+				continue // flavour not implementable (P1)
+			}
+			r, err := measureRow(inst, trace, o.Trials)
+			if err != nil {
+				return nil, err
+			}
+			res[fi] = r
+			have[fi] = true
+		}
+		row := []string{x, "-", "-", "-", "-", "-"}
+		if have[0] {
+			row[1] = mpps(res[0].PPS)
+		}
+		if have[1] {
+			row[2] = mpps(res[1].PPS)
+		}
+		if have[2] {
+			row[3] = mpps(res[2].PPS)
+		}
+		if have[1] && have[2] {
+			row[4] = ratio(res[2].PPS, res[1].PPS)
+		}
+		if have[0] && have[2] {
+			row[5] = gainPct(res[2].PPS, res[0].PPS)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// --- Fig. 3a/3b: skip-list key-value query (no eBPF flavour: P1) ---
+
+func skiplistTrace(o Options, load int, mix []uint32, weights []int, seed int64) *pktgen.Trace {
+	trace := pktgen.Generate(pktgen.Config{Flows: load, Packets: o.Packets, Seed: seed})
+	trace.ApplyOpMix(mix, weights)
+	// Give update packets distinct values.
+	for i := range trace.Packets {
+		trace.Packets[i][nf.OffValue] = byte(i)
+	}
+	return trace
+}
+
+func preloadSkiplist(s *skiplist.SkipList, trace *pktgen.Trace, load int) error {
+	pkt := make([]byte, nf.PktSize)
+	binary.LittleEndian.PutUint32(pkt[nf.OffOp:], nf.OpUpdate)
+	for i := 0; i < load && i < len(trace.FlowKeys); i++ {
+		copy(pkt, trace.FlowKeys[i][:])
+		if v, err := s.Process(pkt); err != nil || v != skiplist.Inserted {
+			return fmt.Errorf("preload %d: verdict %d err %v", i, v, err)
+		}
+	}
+	return nil
+}
+
+var skiplistLoads = []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+
+func skiplistSweep(id, title string, mix []uint32, weights []int) func(Options) (*Table, error) {
+	return func(opts Options) (*Table, error) {
+		o := opts.withDefaults()
+		xs := make([]string, len(skiplistLoads))
+		for i, l := range skiplistLoads {
+			xs[i] = fmt.Sprintf("2^%d", log2(l))
+		}
+		return sweep(id, title, "load", xs, func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			if flavor == nf.EBPF {
+				return nil, nil, nil // P1: not implementable
+			}
+			s, err := skiplist.New(flavor)
+			if err != nil {
+				return nil, nil, err
+			}
+			trace := skiplistTrace(o, skiplistLoads[xi], mix, weights, int64(100+xi))
+			if err := preloadSkiplist(s, trace, skiplistLoads[xi]); err != nil {
+				return nil, nil, err
+			}
+			return s, trace, nil
+		}, opts)
+	}
+}
+
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Fig3a regenerates the skip-list lookup experiment.
+func Fig3a(opts Options) (*Table, error) {
+	return skiplistSweep("fig3a", "skip-list lookup vs load",
+		[]uint32{nf.OpLookup}, []int{1})(opts)
+}
+
+// Fig3b regenerates the skip-list update+delete (1:1) experiment.
+func Fig3b(opts Options) (*Table, error) {
+	return skiplistSweep("fig3b", "skip-list update+delete (1:1) vs load",
+		[]uint32{nf.OpUpdate, nf.OpDelete}, []int{1, 1})(opts)
+}
+
+// --- Fig. 3c: cuckoo switch vs load factor ---
+
+// Fig3c regenerates the Cuckoo Switch experiment.
+func Fig3c(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	loads := []float64{0.25, 0.50, 0.75, 0.95}
+	xs := []string{"25%", "50%", "75%", "95%"}
+	const buckets = 512 // 4096 slots
+	return sweep("fig3c", "cuckoo switch lookup vs load factor", "load", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			n := int(loads[xi] * buckets * cuckooswitch.Slots)
+			trace := pktgen.Generate(pktgen.Config{Flows: n, Packets: o.Packets, Seed: int64(200 + xi)})
+			s, err := cuckooswitch.New(flavor, cuckooswitch.Config{Buckets: buckets})
+			if err != nil {
+				return nil, nil, err
+			}
+			for f := 0; f < n; f++ {
+				s.Insert(trace.FlowKeys[f][:], uint32(100+f))
+			}
+			return s, trace, nil
+		}, opts)
+}
+
+// --- Fig. 3d: NitroSketch vs update probability ---
+
+// Fig3d regenerates the NitroSketch experiment.
+func Fig3d(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	ks := []int{0, 2, 4, 6, 8}
+	xs := []string{"1", "1/4", "1/16", "1/64", "1/256"}
+	return sweep("fig3d", "NitroSketch update vs probability (8 rows)", "p", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			trace := pktgen.Generate(pktgen.Config{Flows: 1024, Packets: o.Packets, ZipfS: 1.1, Seed: int64(300 + xi)})
+			s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: ks[xi]})
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, trace, nil
+		}, opts)
+}
+
+// --- Fig. 3e: count-min sketch vs hash functions ---
+
+// Fig3e regenerates the Count-min experiment (Case Study 2).
+func Fig3e(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	ds := []int{2, 4, 6, 8}
+	xs := []string{"2", "4", "6", "8"}
+	return sweep("fig3e", "count-min sketch update vs hash functions", "d", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			trace := pktgen.Generate(pktgen.Config{Flows: 1024, Packets: o.Packets, ZipfS: 1.1, Seed: int64(400 + xi)})
+			s, err := cmsketch.New(flavor, cmsketch.Config{Rows: ds[xi], Width: 4096})
+			if err != nil {
+				return nil, nil, err
+			}
+			return s, trace, nil
+		}, opts)
+}
+
+// --- Fig. 3f: time wheel vs slots ---
+
+// Fig3f regenerates the Carousel time-wheel experiment (Case Study 3).
+func Fig3f(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	slots := []int{256, 1024, 4096}
+	xs := []string{"256", "1024", "4096"}
+	return sweep("fig3f", "two-level time wheel enqueue/dequeue vs slots", "slots", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			trace := pktgen.Generate(pktgen.Config{Flows: 256, Packets: o.Packets, Seed: int64(500 + xi)})
+			trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+			for i := range trace.Packets {
+				// Mixed near and far deadlines exercise both levels.
+				d := uint64(i / 2)
+				if i%8 == 0 {
+					d += uint64(slots[xi]) * 3
+				}
+				trace.Packets[i].SetTS(d)
+			}
+			w, err := timewheel.New(flavor, timewheel.Config{Slots: slots[xi], Levels: 2})
+			if err != nil {
+				return nil, nil, err
+			}
+			return w, trace, nil
+		}, opts)
+}
+
+// --- Fig. 3g: cuckoo filter vs load factor ---
+
+// Fig3g regenerates the Cuckoo Filter experiment.
+func Fig3g(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	loads := []float64{0.25, 0.50, 0.75, 0.95}
+	xs := []string{"25%", "50%", "75%", "95%"}
+	const buckets = 1024 // 4096 slots
+	return sweep("fig3g", "cuckoo filter membership vs load factor", "load", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			n := int(loads[xi] * buckets * cuckoofilter.Slots)
+			trace := pktgen.Generate(pktgen.Config{Flows: n, Packets: o.Packets, Seed: int64(600 + xi)})
+			f, err := cuckoofilter.New(flavor, cuckoofilter.Config{Buckets: buckets})
+			if err != nil {
+				return nil, nil, err
+			}
+			for i := 0; i < n; i++ {
+				f.Insert(trace.FlowKeys[i][:])
+			}
+			return f, trace, nil
+		}, opts)
+}
+
+// --- Fig. 3h: Eiffel cFFS vs levels ---
+
+// Fig3h regenerates the Eiffel experiment.
+func Fig3h(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	levels := []int{1, 2, 3}
+	xs := []string{"1 (64 prios)", "2 (4096)", "3 (262144)"}
+	return sweep("fig3h", "Eiffel cFFS enqueue/dequeue vs levels", "levels", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			prios := 1
+			for i := 0; i < levels[xi]; i++ {
+				prios *= 64
+			}
+			trace := pktgen.Generate(pktgen.Config{Flows: 64, Packets: o.Packets, Seed: int64(700 + xi)})
+			trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+			for i := range trace.Packets {
+				trace.Packets[i].SetArg(uint32(i*2654435761) % uint32(prios))
+			}
+			q, err := eiffel.New(flavor, eiffel.Config{Levels: levels[xi]})
+			if err != nil {
+				return nil, nil, err
+			}
+			// Prime the queue so dequeues always find work.
+			prime := make([]byte, nf.PktSize)
+			binary.LittleEndian.PutUint32(prime[nf.OffOp:], nf.OpEnqueue)
+			for i := 0; i < 512; i++ {
+				binary.LittleEndian.PutUint32(prime[nf.OffArg:], uint32(i*37))
+				if _, err := q.Process(prime); err != nil {
+					return nil, nil, err
+				}
+			}
+			return q, trace, nil
+		}, opts)
+}
+
+// --- Fig. 3x: other cases (EDF, TSS, HeavyKeeper, VBF) ---
+
+// Fig3x regenerates the §6.2 "other cases" summary, extended with the
+// Bloom filter and Space-Saving survey NFs.
+func Fig3x(opts Options) (*Table, error) {
+	o := opts.withDefaults()
+	xs := []string{"EDF", "TSS", "HeavyKeeper", "VBF", "Bloom", "SpaceSaving", "DAryHash"}
+	return sweep("fig3x", "other NFs, heavy configurations", "NF", xs,
+		func(xi int, flavor nf.Flavor) (nf.Instance, *pktgen.Trace, error) {
+			trace := pktgen.Generate(pktgen.Config{Flows: 2048, Packets: o.Packets, ZipfS: 1.1, Seed: int64(800 + xi)})
+			switch xi {
+			case 0:
+				i, err := edf.New(flavor, edf.Config{Groups: 1024, Targets: 64})
+				if err != nil {
+					return nil, nil, err
+				}
+				return i, trace, nil
+			case 1:
+				c, err := tss.New(flavor, tss.Config{Spaces: 8, Slots: 1024})
+				if err != nil {
+					return nil, nil, err
+				}
+				for f := 0; f < 512; f++ {
+					c.Insert(trace.FlowKeys[f][:], f%8, uint32(f%7+1), uint32(f))
+				}
+				return c, trace, nil
+			case 2:
+				h, err := heavykeeper.New(flavor, heavykeeper.Config{Rows: 4, Width: 4096})
+				if err != nil {
+					return nil, nil, err
+				}
+				return h, trace, nil
+			case 3:
+				v, err := vbf.New(flavor, vbf.Config{Bits: 16384, Hashes: 4})
+				if err != nil {
+					return nil, nil, err
+				}
+				for f := 0; f < 1024; f++ {
+					v.Insert(trace.FlowKeys[f][:], f%32)
+				}
+				return v, trace, nil
+			case 4:
+				bf, err := bloom.New(flavor, bloom.Config{Bits: 1 << 16, Hashes: 4})
+				if err != nil {
+					return nil, nil, err
+				}
+				trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup}, []int{1, 3})
+				return bf, trace, nil
+			case 5:
+				ss, err := spacesaving.New(flavor, spacesaving.Config{Slots: 64})
+				if err != nil {
+					return nil, nil, err
+				}
+				return ss, trace, nil
+			default:
+				dh, err := daryhash.New(flavor, daryhash.Config{Slots: 4096, D: 4})
+				if err != nil {
+					return nil, nil, err
+				}
+				for f := 0; f < 1024; f++ {
+					dh.Insert(trace.FlowKeys[f][:], uint32(100+f))
+				}
+				return dh, trace, nil
+			}
+		}, opts)
+}

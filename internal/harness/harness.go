@@ -1,0 +1,154 @@
+// Package harness measures network-function instances over synthetic
+// traces: packets-per-second throughput (the paper's primary metric),
+// per-packet processing time, end-to-end latency percentiles (adding a
+// constant wire/NIC term, per the DESIGN.md substitution), and the
+// shared-behaviour execution-time fraction of Fig. 1.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+// Result is one throughput measurement.
+type Result struct {
+	Name    string
+	Flavor  string
+	Trials  int
+	PPS     float64 // mean packets per second
+	PPSStd  float64
+	NsPerOp float64 // mean per-packet processing time
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%-14s %-8s %10.0f pps (±%.0f) %8.1f ns/pkt",
+		r.Name, r.Flavor, r.PPS, r.PPSStd, r.NsPerOp)
+}
+
+// Throughput replays the trace through inst `trials` times (after one
+// warm-up pass) and reports mean PPS with standard deviation.
+func Throughput(inst nf.Instance, trace *pktgen.Trace, trials int) (Result, error) {
+	if trials <= 0 {
+		trials = 3
+	}
+	n := len(trace.Packets)
+	if n == 0 {
+		return Result{}, fmt.Errorf("harness: empty trace")
+	}
+	run := func() (float64, error) {
+		start := time.Now()
+		for i := range trace.Packets {
+			if _, err := inst.Process(trace.Packets[i][:]); err != nil {
+				return 0, fmt.Errorf("%s/%s: packet %d: %w", inst.Name(), inst.Flavor(), i, err)
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	if _, err := run(); err != nil { // warm-up
+		return Result{}, err
+	}
+	pps := make([]float64, trials)
+	for t := range pps {
+		secs, err := run()
+		if err != nil {
+			return Result{}, err
+		}
+		pps[t] = float64(n) / secs
+	}
+	mean, std := meanStd(pps)
+	return Result{
+		Name: inst.Name(), Flavor: inst.Flavor().String(), Trials: trials,
+		PPS: mean, PPSStd: std, NsPerOp: 1e9 / mean,
+	}, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return mean, std
+}
+
+// LatencyResult summarizes per-packet latency including the constant
+// wire/NIC term.
+type LatencyResult struct {
+	Name   string
+	Flavor string
+	P50    float64 // ns
+	P99    float64
+	Mean   float64
+}
+
+func (l LatencyResult) String() string {
+	return fmt.Sprintf("%-14s %-8s p50=%.0fns p99=%.0fns mean=%.0fns",
+		l.Name, l.Flavor, l.P50, l.P99, l.Mean)
+}
+
+// WireNs is the constant send+receive path latency added to per-packet
+// processing time (cables, NIC, driver — identical across flavours, as
+// in the paper's low-load Fig. 4 setup).
+const WireNs = 3000
+
+// Latency measures per-packet processing latency over the trace,
+// modelling the paper's 1 kpps low-load experiment: each packet is
+// timed individually and the constant wire term added.
+func Latency(inst nf.Instance, trace *pktgen.Trace) (LatencyResult, error) {
+	durs := make([]float64, 0, len(trace.Packets))
+	for i := range trace.Packets {
+		start := time.Now()
+		if _, err := inst.Process(trace.Packets[i][:]); err != nil {
+			return LatencyResult{}, err
+		}
+		durs = append(durs, float64(time.Since(start).Nanoseconds())+WireNs)
+	}
+	sort.Float64s(durs)
+	var sum float64
+	for _, d := range durs {
+		sum += d
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(durs)-1))
+		return durs[idx]
+	}
+	return LatencyResult{
+		Name: inst.Name(), Flavor: inst.Flavor().String(),
+		P50: pct(0.50), P99: pct(0.99), Mean: sum / float64(len(durs)),
+	}, nil
+}
+
+// BehaviorFraction estimates the share of execution time attributable
+// to a shared behaviour (Fig. 1): it compares a full NF against a
+// variant with that behaviour stripped, on the same trace.
+func BehaviorFraction(full, stripped nf.Instance, trace *pktgen.Trace, trials int) (float64, error) {
+	f, err := Throughput(full, trace, trials)
+	if err != nil {
+		return 0, err
+	}
+	s, err := Throughput(stripped, trace, trials)
+	if err != nil {
+		return 0, err
+	}
+	tFull := 1 / f.PPS
+	tStripped := 1 / s.PPS
+	frac := (tFull - tStripped) / tFull
+	if frac < 0 {
+		frac = 0
+	}
+	return frac, nil
+}
+
+// Speedup returns a/b as a ratio of mean PPS.
+func Speedup(a, b Result) float64 { return a.PPS / b.PPS }

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+// fakeNF burns a fixed amount of time per packet.
+type fakeNF struct {
+	name  string
+	delay time.Duration
+	fail  bool
+	calls int
+}
+
+func (f *fakeNF) Name() string      { return f.name }
+func (f *fakeNF) Flavor() nf.Flavor { return nf.Kernel }
+func (f *fakeNF) Process(pkt []byte) (uint64, error) {
+	f.calls++
+	if f.fail {
+		return 0, errors.New("boom")
+	}
+	if f.delay > 0 {
+		end := time.Now().Add(f.delay)
+		for time.Now().Before(end) {
+		}
+	}
+	return 2, nil
+}
+
+func TestThroughputCountsAndOrdering(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 4, Packets: 200, Seed: 1})
+	fast := &fakeNF{name: "fast"}
+	slow := &fakeNF{name: "slow", delay: 20 * time.Microsecond}
+	rf, err := Throughput(fast, trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Throughput(slow, trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.PPS <= rs.PPS {
+		t.Fatalf("fast (%f) not faster than slow (%f)", rf.PPS, rs.PPS)
+	}
+	// warmup + 2 trials = 3 passes.
+	if fast.calls != 600 {
+		t.Fatalf("calls = %d, want 600", fast.calls)
+	}
+	if rf.Trials != 2 || rf.NsPerOp <= 0 {
+		t.Fatalf("result fields: %+v", rf)
+	}
+}
+
+func TestThroughputPropagatesErrors(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 10, Seed: 2})
+	if _, err := Throughput(&fakeNF{name: "bad", fail: true}, trace, 1); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, err := Throughput(&fakeNF{name: "x"}, &pktgen.Trace{}, 1); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestLatencyIncludesWireTerm(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 64, Seed: 3})
+	lr, err := Latency(&fakeNF{name: "x"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.P50 < WireNs || lr.Mean < WireNs || lr.P99 < lr.P50 {
+		t.Fatalf("latency result inconsistent: %+v", lr)
+	}
+}
+
+func TestBehaviorFraction(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 100, Seed: 4})
+	full := &fakeNF{name: "full", delay: 40 * time.Microsecond}
+	stripped := &fakeNF{name: "stripped", delay: 20 * time.Microsecond}
+	frac, err := BehaviorFraction(full, stripped, trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("fraction %.2f, want ~0.5", frac)
+	}
+	// Stripped slower than full clamps to zero rather than going
+	// negative.
+	frac, err = BehaviorFraction(stripped, full, trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frac != 0 {
+		t.Fatalf("negative fraction not clamped: %f", frac)
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	r := Result{Name: "x", Flavor: "eBPF", PPS: 1e6, NsPerOp: 1000}
+	if r.String() == "" {
+		t.Fatal("empty Result string")
+	}
+	l := LatencyResult{Name: "x", Flavor: "eBPF", P50: 1, P99: 2, Mean: 1.5}
+	if l.String() == "" {
+		t.Fatal("empty LatencyResult string")
+	}
+}

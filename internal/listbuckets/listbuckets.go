@@ -1,0 +1,181 @@
+// Package listbuckets implements eNetSTL's list-buckets data structure
+// (paper §4.3, "Data structure: list-buckets"): an array of FIFO/LIFO
+// queues over one slab allocator, addressed by bucket index through a
+// unified API. It avoids the two costs of eBPF's native linked lists:
+// per-operation spin locks (list-buckets instances are per-CPU and
+// lock-free) and one bpf_map_lookup_elem per list (all buckets live in
+// one object). A non-empty bitmap provides O(n/64) first-bucket scans.
+package listbuckets
+
+import "enetstl/internal/bitops"
+
+const nilIdx = -1
+
+// ListBuckets is a set of n element queues with fixed-size elements,
+// backed by a slab with a free list so steady-state operation does not
+// allocate.
+type ListBuckets struct {
+	elemSize int
+	heads    []int32
+	tails    []int32
+	lens     []int32
+	occupied bitops.Bitmap
+
+	next []int32
+	data []byte
+	free int32
+	used int
+}
+
+// New creates nBuckets queues holding elemSize-byte elements, with
+// capacity for cap elements across all buckets before the slab grows.
+func New(nBuckets, elemSize, capacity int) *ListBuckets {
+	if nBuckets <= 0 || elemSize <= 0 {
+		panic("listbuckets: sizes must be positive")
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	lb := &ListBuckets{
+		elemSize: elemSize,
+		heads:    make([]int32, nBuckets),
+		tails:    make([]int32, nBuckets),
+		lens:     make([]int32, nBuckets),
+		occupied: bitops.NewBitmap(nBuckets),
+		free:     nilIdx,
+	}
+	for i := range lb.heads {
+		lb.heads[i] = nilIdx
+		lb.tails[i] = nilIdx
+	}
+	lb.grow(capacity)
+	return lb
+}
+
+// NumBuckets returns the number of queues.
+func (lb *ListBuckets) NumBuckets() int { return len(lb.heads) }
+
+// ElemSize returns the element payload size in bytes.
+func (lb *ListBuckets) ElemSize() int { return lb.elemSize }
+
+// Len returns the number of elements queued in bucket i.
+func (lb *ListBuckets) Len(i int) int { return int(lb.lens[i]) }
+
+// TotalLen returns the number of elements across all buckets.
+func (lb *ListBuckets) TotalLen() int { return lb.used }
+
+func (lb *ListBuckets) grow(n int) {
+	base := len(lb.next)
+	for i := 0; i < n; i++ {
+		lb.next = append(lb.next, lb.free)
+		lb.free = int32(base + i)
+	}
+	lb.data = append(lb.data, make([]byte, n*lb.elemSize)...)
+}
+
+func (lb *ListBuckets) alloc() int32 {
+	if lb.free == nilIdx {
+		lb.grow(len(lb.next) + 1)
+	}
+	idx := lb.free
+	lb.free = lb.next[idx]
+	lb.used++
+	return idx
+}
+
+func (lb *ListBuckets) release(idx int32) {
+	lb.next[idx] = lb.free
+	lb.free = idx
+	lb.used--
+}
+
+func (lb *ListBuckets) slot(idx int32) []byte {
+	off := int(idx) * lb.elemSize
+	return lb.data[off : off+lb.elemSize]
+}
+
+// InsertFront pushes data onto the front of bucket i (LIFO insert — the
+// bktlist_insert_front of Listing 5).
+func (lb *ListBuckets) InsertFront(i int, data []byte) {
+	idx := lb.alloc()
+	copy(lb.slot(idx), data)
+	lb.next[idx] = lb.heads[i]
+	if lb.heads[i] == nilIdx {
+		lb.tails[i] = idx
+	}
+	lb.heads[i] = idx
+	lb.lens[i]++
+	lb.occupied.Set(i)
+}
+
+// PushBack appends data to the back of bucket i (FIFO insert).
+func (lb *ListBuckets) PushBack(i int, data []byte) {
+	idx := lb.alloc()
+	copy(lb.slot(idx), data)
+	lb.next[idx] = nilIdx
+	if lb.tails[i] == nilIdx {
+		lb.heads[i] = idx
+	} else {
+		lb.next[lb.tails[i]] = idx
+	}
+	lb.tails[i] = idx
+	lb.lens[i]++
+	lb.occupied.Set(i)
+}
+
+// PopFront removes the first element of bucket i into out, reporting
+// whether an element was present. out may be nil to discard.
+func (lb *ListBuckets) PopFront(i int, out []byte) bool {
+	idx := lb.heads[i]
+	if idx == nilIdx {
+		return false
+	}
+	if out != nil {
+		copy(out, lb.slot(idx))
+	}
+	lb.heads[i] = lb.next[idx]
+	if lb.heads[i] == nilIdx {
+		lb.tails[i] = nilIdx
+		lb.occupied.Clear(i)
+	}
+	lb.lens[i]--
+	lb.release(idx)
+	return true
+}
+
+// PeekFront copies the first element of bucket i into out without
+// removing it.
+func (lb *ListBuckets) PeekFront(i int, out []byte) bool {
+	idx := lb.heads[i]
+	if idx == nilIdx {
+		return false
+	}
+	copy(out, lb.slot(idx))
+	return true
+}
+
+// FirstNonEmpty returns the index of the first non-empty bucket at or
+// after from, or -1 — one FFS-based bitmap scan (observation O1).
+func (lb *ListBuckets) FirstNonEmpty(from int) int {
+	return lb.occupied.FirstSet(from)
+}
+
+// Drain removes every element of bucket i, invoking fn on each payload
+// in order. fn must not retain the slice.
+func (lb *ListBuckets) Drain(i int, fn func(elem []byte)) int {
+	n := 0
+	for idx := lb.heads[i]; idx != nilIdx; {
+		nxt := lb.next[idx]
+		if fn != nil {
+			fn(lb.slot(idx))
+		}
+		lb.release(idx)
+		idx = nxt
+		n++
+	}
+	lb.heads[i] = nilIdx
+	lb.tails[i] = nilIdx
+	lb.lens[i] = 0
+	lb.occupied.Clear(i)
+	return n
+}

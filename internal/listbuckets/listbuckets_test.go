@@ -1,0 +1,170 @@
+package listbuckets
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	lb := New(4, 8, 16)
+	for i := 0; i < 10; i++ {
+		var e [8]byte
+		binary.LittleEndian.PutUint64(e[:], uint64(i))
+		lb.PushBack(2, e[:])
+	}
+	for i := 0; i < 10; i++ {
+		var e [8]byte
+		if !lb.PopFront(2, e[:]) {
+			t.Fatalf("pop %d: empty", i)
+		}
+		if got := binary.LittleEndian.Uint64(e[:]); got != uint64(i) {
+			t.Fatalf("pop %d: got %d", i, got)
+		}
+	}
+	if lb.PopFront(2, nil) {
+		t.Fatal("pop from drained bucket succeeded")
+	}
+}
+
+func TestLIFOOrder(t *testing.T) {
+	lb := New(4, 8, 16)
+	for i := 0; i < 5; i++ {
+		var e [8]byte
+		binary.LittleEndian.PutUint64(e[:], uint64(i))
+		lb.InsertFront(0, e[:])
+	}
+	for i := 4; i >= 0; i-- {
+		var e [8]byte
+		if !lb.PopFront(0, e[:]) {
+			t.Fatal("unexpected empty")
+		}
+		if got := binary.LittleEndian.Uint64(e[:]); got != uint64(i) {
+			t.Fatalf("got %d, want %d", got, i)
+		}
+	}
+}
+
+func TestBucketsIndependent(t *testing.T) {
+	lb := New(8, 4, 4)
+	lb.PushBack(1, []byte{1, 0, 0, 0})
+	lb.PushBack(5, []byte{5, 0, 0, 0})
+	var e [4]byte
+	if !lb.PopFront(5, e[:]) || e[0] != 5 {
+		t.Fatalf("bucket 5 returned %v", e)
+	}
+	if !lb.PopFront(1, e[:]) || e[0] != 1 {
+		t.Fatalf("bucket 1 returned %v", e)
+	}
+}
+
+func TestOccupancyBitmap(t *testing.T) {
+	lb := New(128, 4, 8)
+	if got := lb.FirstNonEmpty(0); got != -1 {
+		t.Fatalf("FirstNonEmpty on empty = %d", got)
+	}
+	lb.PushBack(100, []byte{1, 2, 3, 4})
+	lb.PushBack(7, []byte{1, 2, 3, 4})
+	if got := lb.FirstNonEmpty(0); got != 7 {
+		t.Fatalf("FirstNonEmpty(0) = %d, want 7", got)
+	}
+	if got := lb.FirstNonEmpty(8); got != 100 {
+		t.Fatalf("FirstNonEmpty(8) = %d, want 100", got)
+	}
+	lb.PopFront(7, nil)
+	if got := lb.FirstNonEmpty(0); got != 100 {
+		t.Fatalf("after drain, FirstNonEmpty = %d, want 100", got)
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	lb := New(2, 4, 2)
+	lb.PushBack(0, []byte{9, 9, 9, 9})
+	var a, b [4]byte
+	if !lb.PeekFront(0, a[:]) || !lb.PeekFront(0, b[:]) {
+		t.Fatal("peek failed")
+	}
+	if !bytes.Equal(a[:], b[:]) || lb.Len(0) != 1 {
+		t.Fatal("peek consumed the element")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	lb := New(2, 4, 2)
+	for i := 0; i < 5; i++ {
+		lb.PushBack(1, []byte{byte(i), 0, 0, 0})
+	}
+	var seen []byte
+	n := lb.Drain(1, func(e []byte) { seen = append(seen, e[0]) })
+	if n != 5 || !bytes.Equal(seen, []byte{0, 1, 2, 3, 4}) {
+		t.Fatalf("drain returned %d, order %v", n, seen)
+	}
+	if lb.Len(1) != 0 || lb.TotalLen() != 0 {
+		t.Fatal("drain left residue")
+	}
+	if got := lb.FirstNonEmpty(0); got != -1 {
+		t.Fatalf("bitmap not cleared, FirstNonEmpty = %d", got)
+	}
+}
+
+func TestSlabGrowsAndRecycles(t *testing.T) {
+	lb := New(1, 8, 2)
+	var e [8]byte
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			lb.PushBack(0, e[:])
+		}
+		for i := 0; i < 100; i++ {
+			if !lb.PopFront(0, e[:]) {
+				t.Fatal("pop failed")
+			}
+		}
+	}
+	if lb.TotalLen() != 0 {
+		t.Fatalf("TotalLen = %d after balanced ops", lb.TotalLen())
+	}
+}
+
+// TestModelEquivalence drives random operations against a per-bucket
+// slice-of-slices model and compares observable behaviour.
+func TestModelEquivalence(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nb = 8
+		lb := New(nb, 8, 4)
+		model := make([][][8]byte, nb)
+		for op := 0; op < 500; op++ {
+			i := rng.Intn(nb)
+			var e [8]byte
+			binary.LittleEndian.PutUint64(e[:], rng.Uint64())
+			switch rng.Intn(3) {
+			case 0:
+				lb.PushBack(i, e[:])
+				model[i] = append(model[i], e)
+			case 1:
+				lb.InsertFront(i, e[:])
+				model[i] = append([][8]byte{e}, model[i]...)
+			case 2:
+				var got [8]byte
+				ok := lb.PopFront(i, got[:])
+				if ok != (len(model[i]) > 0) {
+					return false
+				}
+				if ok {
+					if got != model[i][0] {
+						return false
+					}
+					model[i] = model[i][1:]
+				}
+			}
+			if lb.Len(i) != len(model[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package memwrapper
+
+import "testing"
+
+// Component-level memory-wrapper benchmarks: traversal under lazy
+// safety checking against the eager strawman (§4.2), and the
+// alloc/free cycle cost.
+
+func buildChain(eager bool, n int) (*Proxy, *Node) {
+	p := NewProxy(32, 1)
+	p.Eager = eager
+	head, _ := p.Alloc(1)
+	p.SetOwner(head)
+	cur := head
+	for i := 0; i < n; i++ {
+		nd, _ := p.Alloc(1)
+		p.SetOwner(nd)
+		p.Connect(cur, 0, nd)
+		p.Release(nd)
+		cur = nd
+	}
+	return p, head
+}
+
+func walk(b *testing.B, p *Proxy, head *Node) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cur := head
+		held := false
+		for {
+			next, err := p.Next(cur, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if next == nil {
+				break
+			}
+			if held {
+				p.Release(cur)
+			}
+			cur, held = next, true
+		}
+		if held {
+			p.Release(cur)
+		}
+	}
+}
+
+func BenchmarkTraverseLazy(b *testing.B) {
+	p, head := buildChain(false, 64)
+	b.ResetTimer()
+	walk(b, p, head)
+}
+
+func BenchmarkTraverseEager(b *testing.B) {
+	p, head := buildChain(true, 64)
+	b.ResetTimer()
+	walk(b, p, head)
+}
+
+func BenchmarkAllocConnectFree(b *testing.B) {
+	p := NewProxy(32, 1)
+	anchor, _ := p.Alloc(1)
+	p.SetOwner(anchor)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, _ := p.Alloc(1)
+		p.Connect(anchor, 0, n)
+		p.Release(n) // freed; lazy safety clears anchor's slot
+	}
+}

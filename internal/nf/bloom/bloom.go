@@ -1,0 +1,190 @@
+// Package bloom implements the classic Bloom filter membership NF
+// ([8]), the simplest member of the survey's membership-test category.
+// The datapath supports two operations: inserting the packet's flow
+// (set k bits) and testing it (check k bits).
+//
+//   - Kernel: native Go (nhash.HashSet / nhash.HashTest).
+//   - EBPF: bytecode; k software hashes plus k bit read-modify-writes.
+//   - ENetSTL: bytecode; one fused kf_hash_set or kf_hash_test call
+//     (the "setting bits after hashing" operation of §4.3).
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+)
+
+// Verdicts for the test operation.
+const (
+	Member    = vm.XDPPass
+	NotMember = vm.XDPDrop
+	opInsert  = nf.OpUpdate
+	opTest    = nf.OpLookup
+)
+
+// Config sizes the filter.
+type Config struct {
+	Bits   int // power of two
+	Hashes int // k, in [1,8]
+}
+
+func (c Config) validate() error {
+	if c.Bits <= 0 || c.Bits&(c.Bits-1) != 0 {
+		return fmt.Errorf("bloom: bits %d must be a power of two", c.Bits)
+	}
+	if c.Hashes <= 0 || c.Hashes > 8 {
+		return fmt.Errorf("bloom: hashes %d out of range [1,8]", c.Hashes)
+	}
+	return nil
+}
+
+// Filter is one built instance.
+type Filter struct {
+	nf.Instance
+	cfg    Config
+	native []uint64
+	arr    *maps.Array
+}
+
+// New builds the NF in the requested flavour.
+func New(flavor nf.Flavor, cfg Config) (*Filter, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := &Filter{cfg: cfg}
+	mask := uint32(cfg.Bits - 1)
+	switch flavor {
+	case nf.Kernel:
+		f.native = make([]uint64, cfg.Bits/64)
+		f.Instance = &nf.NativeInstance{NFName: "bloom", Fn: func(pkt []byte) uint64 {
+			key := pkt[nf.OffKey : nf.OffKey+nf.KeyLen]
+			if binary.LittleEndian.Uint32(pkt[nf.OffOp:]) == opInsert {
+				nhash.HashSet(f.native, cfg.Hashes, mask, key)
+				return vm.XDPPass
+			}
+			if nhash.HashTest(f.native, cfg.Hashes, mask, key) {
+				return Member
+			}
+			return NotMember
+		}}
+		return f, nil
+	case nf.EBPF, nf.ENetSTL:
+		machine := vm.New()
+		f.arr = maps.NewArray(cfg.Bits/8, 1)
+		fd := machine.RegisterMap(f.arr)
+		var b *asm.Builder
+		if flavor == nf.EBPF {
+			b = buildEBPF(fd, cfg)
+		} else {
+			core.Attach(machine, core.Config{})
+			b = buildENetSTL(fd, cfg)
+		}
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("bloom: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "bloom", ins, verifier.Options{CtxSize: nf.PktSize})
+		if err != nil {
+			return nil, err
+		}
+		f.Instance = nf.NewVMInstance("bloom", flavor, machine, p)
+		return f, nil
+	}
+	return nil, fmt.Errorf("bloom: unknown flavor %v", flavor)
+}
+
+// buildEBPF emits k software hashes with byte-level bit operations.
+func buildEBPF(fd int32, cfg Config) *asm.Builder {
+	b := asm.New()
+	mask := int32(cfg.Bits - 1)
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "bf")
+	b.Mov(asm.R7, asm.R0)
+	b.Load(asm.R0, asm.R6, nf.OffOp, 4)
+	b.JmpImm(asm.JEQ, asm.R0, opInsert, "insert")
+
+	// --- Test ---
+	for i := 0; i < cfg.Hashes; i++ {
+		nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, nhash.Seed(i),
+			asm.R8, asm.R0, asm.R1, asm.R2, asm.R3)
+		nfasm.EmitFold32(b, asm.R8, asm.R0)
+		b.AndImm(asm.R8, mask)
+		// byte = bitmap[h>>3]; bit = h&7
+		b.Mov(asm.R9, asm.R8).RshImm(asm.R9, 3)
+		b.Add(asm.R9, asm.R7)
+		b.Load(asm.R0, asm.R9, 0, 1)
+		b.AndImm(asm.R8, 7)
+		b.Rsh(asm.R0, asm.R8)
+		b.AndImm(asm.R0, 1)
+		b.JmpImm(asm.JEQ, asm.R0, 0, "miss")
+	}
+	b.MovImm(asm.R0, int32(Member))
+	b.Exit()
+	b.Label("miss")
+	b.MovImm(asm.R0, int32(NotMember))
+	b.Exit()
+
+	// --- Insert ---
+	b.Label("insert")
+	for i := 0; i < cfg.Hashes; i++ {
+		nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, nhash.Seed(i),
+			asm.R8, asm.R0, asm.R1, asm.R2, asm.R3)
+		nfasm.EmitFold32(b, asm.R8, asm.R0)
+		b.AndImm(asm.R8, mask)
+		b.Mov(asm.R9, asm.R8).RshImm(asm.R9, 3)
+		b.Add(asm.R9, asm.R7)
+		b.Load(asm.R0, asm.R9, 0, 1)
+		b.AndImm(asm.R8, 7)
+		b.MovImm(asm.R1, 1)
+		b.Lsh(asm.R1, asm.R8)
+		b.Or(asm.R0, asm.R1)
+		b.Store(asm.R9, 0, asm.R0, 1)
+	}
+	b.MovImm(asm.R0, int32(vm.XDPPass))
+	b.Exit()
+	return b
+}
+
+// buildENetSTL emits one fused kfunc per operation.
+func buildENetSTL(fd int32, cfg Config) *asm.Builder {
+	b := asm.New()
+	flags := uint64(cfg.Hashes)<<32 | uint64(cfg.Bits-1)
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "bf")
+	b.Mov(asm.R7, asm.R0)
+	b.Load(asm.R0, asm.R6, nf.OffOp, 4)
+	b.JmpImm(asm.JEQ, asm.R0, opInsert, "insert")
+
+	b.Mov(asm.R1, asm.R7)
+	b.MovImm(asm.R2, int32(cfg.Bits/8))
+	b.Mov(asm.R3, asm.R6)
+	b.MovImm(asm.R4, nf.KeyLen)
+	b.LoadImm64(asm.R5, flags)
+	b.Kfunc(core.KfHashTest)
+	b.JmpImm(asm.JEQ, asm.R0, 0, "miss")
+	b.MovImm(asm.R0, int32(Member))
+	b.Exit()
+	b.Label("miss")
+	b.MovImm(asm.R0, int32(NotMember))
+	b.Exit()
+
+	b.Label("insert")
+	b.Mov(asm.R1, asm.R7)
+	b.MovImm(asm.R2, int32(cfg.Bits/8))
+	b.Mov(asm.R3, asm.R6)
+	b.MovImm(asm.R4, nf.KeyLen)
+	b.LoadImm64(asm.R5, flags)
+	b.Kfunc(core.KfHashSet)
+	b.MovImm(asm.R0, int32(vm.XDPPass))
+	b.Exit()
+	return b
+}

@@ -1,0 +1,89 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var cfg = Config{Bits: 1 << 15, Hashes: 4}
+
+func op(t *testing.T, f *Filter, key []byte, code uint32) uint64 {
+	t.Helper()
+	pkt := make([]byte, nf.PktSize)
+	copy(pkt, key)
+	binary.LittleEndian.PutUint32(pkt[nf.OffOp:], code)
+	v, err := f.Process(pkt)
+	if err != nil {
+		t.Fatalf("%v: %v", f.Flavor(), err)
+	}
+	return v
+}
+
+func TestNoFalseNegativesAllFlavors(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 500, Packets: 0, Seed: 1})
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		f, err := New(flavor, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		for i := 0; i < 500; i++ {
+			op(t, f, trace.FlowKeys[i][:], opInsert)
+		}
+		for i := 0; i < 500; i++ {
+			if got := op(t, f, trace.FlowKeys[i][:], opTest); got != Member {
+				t.Fatalf("%v: inserted flow %d absent", flavor, i)
+			}
+		}
+	}
+}
+
+func TestFlavorsAgreeExactly(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 3000, Packets: 0, Seed: 2})
+	k, _ := New(nf.Kernel, cfg)
+	e, _ := New(nf.EBPF, cfg)
+	s, _ := New(nf.ENetSTL, cfg)
+	for i := 0; i < 800; i++ {
+		for _, f := range []*Filter{k, e, s} {
+			op(t, f, trace.FlowKeys[i][:], opInsert)
+		}
+	}
+	// Verdicts (including any false positives) must be identical.
+	for i := 0; i < 3000; i++ {
+		a := op(t, k, trace.FlowKeys[i][:], opTest)
+		b := op(t, e, trace.FlowKeys[i][:], opTest)
+		c := op(t, s, trace.FlowKeys[i][:], opTest)
+		if a != b || a != c {
+			t.Fatalf("flow %d: %d %d %d", i, a, b, c)
+		}
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	f, _ := New(nf.Kernel, cfg)
+	trace := pktgen.Generate(pktgen.Config{Flows: 6000, Packets: 0, Seed: 3})
+	for i := 0; i < 1000; i++ {
+		op(t, f, trace.FlowKeys[i][:], opInsert)
+	}
+	fp := 0
+	for i := 1000; i < 6000; i++ {
+		if op(t, f, trace.FlowKeys[i][:], opTest) == Member {
+			fp++
+		}
+	}
+	// n=1000, m=32768 bits, k=4: theoretical fp ~ 0.02%; allow slack.
+	if fp > 25 {
+		t.Fatalf("false positives %d / 5000", fp)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Bits: 100, Hashes: 2}); err == nil {
+		t.Fatal("bad bits accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Bits: 128, Hashes: 9}); err == nil {
+		t.Fatal("bad hashes accepted")
+	}
+}

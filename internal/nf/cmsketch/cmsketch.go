@@ -1,0 +1,208 @@
+// Package cmsketch implements the Count-min sketch NF (paper Case Study
+// 2, [15]) in the three evaluation flavours. The datapath operation is
+// the per-packet update: d hashes of the flow key select one counter
+// per row to increment.
+//
+//   - Kernel: native Go over a flat counter matrix (nhash.HashCnt).
+//   - EBPF: verified bytecode; each row's hash is computed in software
+//     (no SIMD/CRC in the ISA), then a variable-offset counter update.
+//   - ENetSTL: verified bytecode; one kf_hash_cnt kfunc fuses all d
+//     hashes and increments (Listing 2's hash_simd_cnt).
+package cmsketch
+
+import (
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+)
+
+// Config sizes the sketch.
+type Config struct {
+	Rows  int // number of hash functions d
+	Width int // counters per row, power of two
+
+	// Stripped removes the multiple-hash behaviour (observation O2)
+	// from the EBPF flavour: counters are bumped at fixed indices. Used
+	// by the Fig. 1 behaviour-fraction experiment.
+	Stripped bool
+	// LowLevel makes the ENetSTL flavour use the low-level kf_hash_n
+	// interface (hash values copied back to program memory, counters
+	// updated in bytecode) instead of the fused kf_hash_cnt — the
+	// Fig. 6 "HASH Low" ablation.
+	LowLevel bool
+}
+
+func (c Config) validate() error {
+	if c.Rows <= 0 || c.Rows > 16 {
+		return fmt.Errorf("cmsketch: rows %d out of range [1,16]", c.Rows)
+	}
+	if c.Width <= 0 || c.Width&(c.Width-1) != 0 {
+		return fmt.Errorf("cmsketch: width %d must be a power of two", c.Width)
+	}
+	return nil
+}
+
+// Sketch is one built instance. Counters are exposed for tests and for
+// the control plane (e.g. heavy-hitter reporting).
+type Sketch struct {
+	nf.Instance
+	cfg Config
+
+	native []uint32    // Kernel flavour storage
+	arr    *maps.Array // VM flavour storage
+}
+
+// matrix returns the nhash view of the configuration.
+func (c Config) matrix() nhash.Matrix {
+	return nhash.Matrix{Rows: c.Rows, Mask: uint32(c.Width - 1)}
+}
+
+// New builds the sketch NF in the requested flavour.
+func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sketch{cfg: cfg}
+	switch flavor {
+	case nf.Kernel:
+		s.native = make([]uint32, cfg.Rows*cfg.Width)
+		m := cfg.matrix()
+		s.Instance = &nf.NativeInstance{NFName: "cmsketch", Fn: func(pkt []byte) uint64 {
+			nhash.HashCnt(s.native, m, pkt[nf.OffKey:nf.OffKey+nf.KeyLen])
+			return vm.XDPDrop
+		}}
+		return s, nil
+	case nf.EBPF, nf.ENetSTL:
+		machine := vm.New()
+		s.arr = maps.NewArray(cfg.Rows*cfg.Width*4, 1)
+		fd := machine.RegisterMap(s.arr)
+		var b *asm.Builder
+		if flavor == nf.EBPF {
+			b = buildEBPF(fd, cfg)
+		} else {
+			core.Attach(machine, core.Config{})
+			b = buildENetSTL(fd, cfg)
+		}
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("cmsketch: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "cmsketch", ins, verifier.Options{CtxSize: nf.PktSize})
+		if err != nil {
+			return nil, err
+		}
+		s.Instance = nf.NewVMInstance("cmsketch", flavor, machine, p)
+		return s, nil
+	}
+	return nil, fmt.Errorf("cmsketch: unknown flavor %v", flavor)
+}
+
+// Estimate returns the count-min estimate for key (control-plane read).
+func (s *Sketch) Estimate(key []byte) uint32 {
+	if s.native != nil {
+		return nhash.HashMin(s.native, s.cfg.matrix(), key)
+	}
+	data := s.arr.Data()
+	m := s.cfg.matrix()
+	min := ^uint32(0)
+	w := s.cfg.Width
+	for i := 0; i < m.Rows; i++ {
+		h := nhash.FastHash32(key, nhash.Seed(i))
+		j := (i*w + int(h&m.Mask)) * 4
+		c := uint32(data[j]) | uint32(data[j+1])<<8 | uint32(data[j+2])<<16 | uint32(data[j+3])<<24
+		if c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// buildEBPF emits the pure-eBPF update program: d software hashes and d
+// variable-offset counter increments.
+func buildEBPF(fd int32, cfg Config) *asm.Builder {
+	b := asm.New()
+	mask := int32(cfg.Width - 1)
+	b.Mov(asm.R6, asm.R1) // ctx
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "cms")
+	b.Mov(asm.R7, asm.R0) // counter matrix
+	for i := 0; i < cfg.Rows; i++ {
+		if cfg.Stripped {
+			// Behaviour-stripped variant: fixed per-row index.
+			b.MovImm(asm.R8, int32(i)&mask)
+		} else {
+			nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, nhash.Seed(i),
+				asm.R8, asm.R0, asm.R1, asm.R2, asm.R3)
+			nfasm.EmitFold32(b, asm.R8, asm.R0)
+		}
+		b.AndImm(asm.R8, mask)
+		b.LshImm(asm.R8, 2)
+		b.Mov(asm.R0, asm.R7)
+		b.Add(asm.R0, asm.R8)
+		b.AddImm(asm.R0, int32(i*cfg.Width*4))
+		b.Load(asm.R1, asm.R0, 0, 4)
+		b.AddImm(asm.R1, 1)
+		b.Store(asm.R0, 0, asm.R1, 4)
+	}
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
+	b.Exit()
+	return b
+}
+
+// buildENetSTL emits the eNetSTL update program: one fused kfunc call,
+// or — in the Fig. 6 low-level ablation — a kf_hash_n call whose results
+// round-trip through program memory before bytecode counter updates.
+func buildENetSTL(fd int32, cfg Config) *asm.Builder {
+	if cfg.LowLevel {
+		return buildENetSTLLowLevel(fd, cfg)
+	}
+	b := asm.New()
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "cms")
+	b.Mov(asm.R1, asm.R0)
+	b.MovImm(asm.R2, int32(cfg.Rows*cfg.Width*4))
+	b.Mov(asm.R3, asm.R6)
+	b.MovImm(asm.R4, nf.KeyLen)
+	b.LoadImm64(asm.R5, uint64(cfg.Rows)<<32|uint64(cfg.Width-1))
+	b.Kfunc(core.KfHashCnt)
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
+	b.Exit()
+	return b
+}
+
+// buildENetSTLLowLevel is the Listing 2 counter-example: hash values
+// are copied from the kfunc into stack memory, then each is re-loaded
+// and applied in bytecode — the extra copies Fig. 6 quantifies.
+func buildENetSTLLowLevel(fd int32, cfg Config) *asm.Builder {
+	b := asm.New()
+	mask := int32(cfg.Width - 1)
+	outOff := int16(-8 - cfg.Rows*4)
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "cms")
+	b.Mov(asm.R7, asm.R0)
+	// kf_hash_n(key, klen, out, d*4): the costly store-back.
+	b.Mov(asm.R1, asm.R6)
+	b.MovImm(asm.R2, nf.KeyLen)
+	b.Mov(asm.R3, asm.R10).AddImm(asm.R3, int32(outOff))
+	b.MovImm(asm.R4, int32(cfg.Rows*4))
+	b.Kfunc(core.KfHashN)
+	for i := 0; i < cfg.Rows; i++ {
+		b.Load(asm.R8, asm.R10, outOff+int16(i*4), 4)
+		b.AndImm(asm.R8, mask)
+		b.LshImm(asm.R8, 2)
+		b.Add(asm.R8, asm.R7)
+		b.AddImm(asm.R8, int32(i*cfg.Width*4))
+		b.Load(asm.R1, asm.R8, 0, 4)
+		b.AddImm(asm.R1, 1)
+		b.Store(asm.R8, 0, asm.R1, 4)
+	}
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
+	b.Exit()
+	return b
+}

@@ -1,0 +1,88 @@
+package cmsketch
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var testCfg = Config{Rows: 4, Width: 256}
+
+func run(t *testing.T, flavor nf.Flavor, trace *pktgen.Trace) *Sketch {
+	t.Helper()
+	s, err := New(flavor, testCfg)
+	if err != nil {
+		t.Fatalf("%v: %v", flavor, err)
+	}
+	for i := range trace.Packets {
+		if _, err := s.Process(trace.Packets[i][:]); err != nil {
+			t.Fatalf("%v: packet %d: %v", flavor, i, err)
+		}
+	}
+	return s
+}
+
+// TestFlavorsAgree verifies all three flavours compute identical
+// estimates: the bytecode software hash must match the native one.
+func TestFlavorsAgree(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 64, Packets: 2000, ZipfS: 1.1, Seed: 1})
+	kernel := run(t, nf.Kernel, trace)
+	ebpf := run(t, nf.EBPF, trace)
+	estl := run(t, nf.ENetSTL, trace)
+	for f := range trace.FlowKeys {
+		key := trace.FlowKeys[f][:]
+		k, e, s := kernel.Estimate(key), ebpf.Estimate(key), estl.Estimate(key)
+		if k != e || k != s {
+			t.Fatalf("flow %d: estimates diverge: kernel=%d ebpf=%d enetstl=%d", f, k, e, s)
+		}
+	}
+}
+
+// TestEstimateUpperBound checks the count-min guarantee on every flavour.
+func TestEstimateUpperBound(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 32, Packets: 3000, Seed: 2})
+	truth := make(map[int32]uint32)
+	for i := range trace.Packets {
+		truth[trace.FlowOf[i]]++
+	}
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		s := run(t, flavor, trace)
+		for f, n := range truth {
+			if got := s.Estimate(trace.FlowKeys[f][:]); got < n {
+				t.Fatalf("%v: flow %d estimate %d < true count %d", flavor, f, got, n)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Rows: 0, Width: 256}); err == nil {
+		t.Fatal("rows=0 accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Rows: 4, Width: 100}); err == nil {
+		t.Fatal("non-power-of-two width accepted")
+	}
+	if _, err := New(nf.EBPF, Config{Rows: 17, Width: 256}); err == nil {
+		t.Fatal("rows=17 accepted")
+	}
+}
+
+func TestRowCountsSweep(t *testing.T) {
+	// Every row count used in Fig. 3e must verify and run in both
+	// bytecode flavours.
+	trace := pktgen.Generate(pktgen.Config{Flows: 8, Packets: 100, Seed: 3})
+	for _, d := range []int{1, 2, 4, 6, 8} {
+		for _, flavor := range []nf.Flavor{nf.EBPF, nf.ENetSTL} {
+			s, err := New(flavor, Config{Rows: d, Width: 128})
+			if err != nil {
+				t.Fatalf("d=%d %v: %v", d, flavor, err)
+			}
+			for i := range trace.Packets {
+				if _, err := s.Process(trace.Packets[i][:]); err != nil {
+					t.Fatalf("d=%d %v: %v", d, flavor, err)
+				}
+			}
+		}
+	}
+}

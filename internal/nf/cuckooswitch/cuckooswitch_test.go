@@ -1,0 +1,95 @@
+package cuckooswitch
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+const testBuckets = 64 // 512 slots
+
+func build(t *testing.T, flavor nf.Flavor, trace *pktgen.Trace, nInsert int) *Switch {
+	t.Helper()
+	s, err := New(flavor, Config{Buckets: testBuckets})
+	if err != nil {
+		t.Fatalf("%v: %v", flavor, err)
+	}
+	for f := 0; f < nInsert; f++ {
+		if !s.Insert(trace.FlowKeys[f][:], uint32(100+f)) {
+			t.Fatalf("%v: insert flow %d failed", flavor, f)
+		}
+	}
+	return s
+}
+
+func TestLookupHitAndMissAllFlavors(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 400, Packets: 0, Seed: 7})
+	const inserted = 300
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		s := build(t, flavor, trace, inserted)
+		var pkt [nf.PktSize]byte
+		for f := 0; f < 400; f++ {
+			copy(pkt[:], trace.FlowKeys[f][:])
+			got, err := s.Process(pkt[:])
+			if err != nil {
+				t.Fatalf("%v: flow %d: %v", flavor, f, err)
+			}
+			if f < inserted {
+				if got != uint64(100+f) {
+					t.Fatalf("%v: flow %d: got %d, want %d", flavor, f, got, 100+f)
+				}
+			} else if got != Miss {
+				// A signature collision can cause a false hit; with 32-bit
+				// signatures over 400 flows this must not happen.
+				t.Fatalf("%v: flow %d: false hit %d", flavor, f, got)
+			}
+		}
+	}
+}
+
+func TestFlavorsAgreeOnTrace(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 256, Packets: 1000, ZipfS: 1.05, Seed: 8})
+	k := build(t, nf.Kernel, trace, 200)
+	e := build(t, nf.EBPF, trace, 200)
+	n := build(t, nf.ENetSTL, trace, 200)
+	for i := range trace.Packets {
+		pk := trace.Packets[i][:]
+		a, err1 := k.Process(pk)
+		b, err2 := e.Process(pk)
+		c, err3 := n.Process(pk)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("pkt %d: errs %v %v %v", i, err1, err2, err3)
+		}
+		if a != b || a != c {
+			t.Fatalf("pkt %d: verdicts diverge kernel=%d ebpf=%d enetstl=%d", i, a, b, c)
+		}
+	}
+}
+
+func TestHighLoadInsertion(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 500, Packets: 0, Seed: 9})
+	s, err := New(nf.Kernel, Config{Buckets: testBuckets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := 0
+	for f := 0; f < 500; f++ {
+		if s.Insert(trace.FlowKeys[f][:], uint32(100+f)) {
+			ok++
+		}
+	}
+	// Blocked cuckoo with 8-way buckets sustains very high load factors.
+	if lf := s.LoadFactor(); lf < 0.9 {
+		t.Fatalf("load factor %.2f < 0.9 (inserted %d)", lf, ok)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Buckets: 100}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Buckets: 0}); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Package daryhash implements the d-ary cuckoo hash key-value query NF
+// ([27]): each key has d candidate slots chosen by d hash functions;
+// lookup probes them in order and compares stored signatures. It is the
+// carrier for eNetSTL's "comparing after hashing" fused operation.
+//
+//   - Kernel: native Go.
+//   - EBPF: bytecode; d software hashes plus scalar compares.
+//   - ENetSTL: bytecode; one kf_hash_cmp call replaces the whole probe
+//     sequence.
+//
+// All flavours compute the identical function; inserts are control
+// plane (random-walk eviction among the d candidates).
+package daryhash
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+)
+
+// Miss is the lookup verdict for absent keys.
+const Miss = vm.XDPDrop
+
+// Config sizes the table.
+type Config struct {
+	Slots int // power of two
+	D     int // hash functions, in [2,8]
+}
+
+func (c Config) validate() error {
+	if c.Slots <= 0 || c.Slots&(c.Slots-1) != 0 {
+		return fmt.Errorf("daryhash: slots %d must be a power of two", c.Slots)
+	}
+	if c.D < 2 || c.D > 8 {
+		return fmt.Errorf("daryhash: d %d out of range [2,8]", c.D)
+	}
+	return nil
+}
+
+// Table is one built instance. Slot layout: (sig u32, value u32).
+type Table struct {
+	nf.Instance
+	cfg    Config
+	native []uint32 // 2*Slots
+	arr    *maps.Array
+	rng    uint64
+}
+
+func sigOf(key []byte) uint32 {
+	return nhash.FastHash32(key, core.SigSeed) | 1
+}
+
+func slotOf(key []byte, i int, mask uint32) uint32 {
+	return nhash.FastHash32(key, nhash.Seed(i)) & mask
+}
+
+// New builds the NF in the requested flavour.
+func New(flavor nf.Flavor, cfg Config) (*Table, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	t := &Table{cfg: cfg, native: make([]uint32, 2*cfg.Slots), rng: 0x9e3779b97f4a7c15}
+	switch flavor {
+	case nf.Kernel:
+		t.Instance = &nf.NativeInstance{NFName: "daryhash", Fn: func(pkt []byte) uint64 {
+			key := pkt[nf.OffKey : nf.OffKey+nf.KeyLen]
+			sig := sigOf(key)
+			mask := uint32(cfg.Slots - 1)
+			for i := 0; i < cfg.D; i++ {
+				h := slotOf(key, i, mask)
+				if t.native[h*2] == sig {
+					return uint64(t.native[h*2+1])
+				}
+			}
+			return Miss
+		}}
+		return t, nil
+	case nf.EBPF, nf.ENetSTL:
+		machine := vm.New()
+		t.arr = maps.NewArray(2*cfg.Slots*4, 1)
+		fd := machine.RegisterMap(t.arr)
+		if flavor == nf.ENetSTL {
+			core.Attach(machine, core.Config{})
+		}
+		b := buildProgram(fd, cfg, flavor == nf.ENetSTL)
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("daryhash: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "daryhash", ins, verifier.Options{CtxSize: nf.PktSize})
+		if err != nil {
+			return nil, err
+		}
+		t.Instance = nf.NewVMInstance("daryhash", flavor, machine, p)
+		return t, nil
+	}
+	return nil, fmt.Errorf("daryhash: unknown flavor %v", flavor)
+}
+
+// Insert adds key -> value, evicting among the d candidates when all
+// are occupied (bounded random walk). Returns false when placement
+// fails. Values must be non-zero.
+func (t *Table) Insert(key []byte, value uint32) bool {
+	mask := uint32(t.cfg.Slots - 1)
+	sig := sigOf(key)
+	// Existing entry or free slot.
+	for i := 0; i < t.cfg.D; i++ {
+		h := slotOf(key, i, mask)
+		if t.native[h*2] == sig || t.native[h*2] == 0 {
+			t.place(h, sig, value)
+			return true
+		}
+	}
+	// Displace: since the victim's key is unknown (only its signature
+	// is stored), a d-ary table relocates by claiming a random
+	// candidate; the displaced entry is dropped. This matches a
+	// signature-only FIB where the control plane reinstalls casualties.
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	h := slotOf(key, int(t.rng)&(t.cfg.D-1), mask)
+	t.place(h, sig, value)
+	return true
+}
+
+func (t *Table) place(h, sig, value uint32) {
+	t.native[h*2] = sig
+	t.native[h*2+1] = value
+	if t.arr != nil {
+		binary.LittleEndian.PutUint32(t.arr.Data()[h*8:], sig)
+		binary.LittleEndian.PutUint32(t.arr.Data()[h*8+4:], value)
+	}
+}
+
+func buildProgram(fd int32, cfg Config, enetstl bool) *asm.Builder {
+	b := asm.New()
+	mask := int32(cfg.Slots - 1)
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "dh")
+	b.Mov(asm.R7, asm.R0)
+
+	if enetstl {
+		// One fused call: kf_hash_cmp(table, bytes, key, klen, flags).
+		b.Mov(asm.R1, asm.R7)
+		b.MovImm(asm.R2, int32(2*cfg.Slots*4))
+		b.Mov(asm.R3, asm.R6)
+		b.MovImm(asm.R4, nf.KeyLen)
+		b.LoadImm64(asm.R5, uint64(cfg.D)<<32|uint64(mask))
+		b.Kfunc(core.KfHashCmp)
+		b.JmpImm(asm.JEQ, asm.R0, -1, "miss")
+		b.AndImm(asm.R0, mask)
+		b.LshImm(asm.R0, 3)
+		b.Add(asm.R0, asm.R7)
+		b.Load(asm.R0, asm.R0, 4, 4)
+		b.Exit()
+		b.Label("miss")
+		b.MovImm(asm.R0, int32(Miss))
+		b.Exit()
+		return b
+	}
+
+	// Pure eBPF: sig plus d software hashes and compares.
+	nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, core.SigSeed,
+		asm.R9, asm.R0, asm.R1, asm.R2, asm.R3)
+	nfasm.EmitFold32(b, asm.R9, asm.R0)
+	b.OrImm(asm.R9, 1)
+	for i := 0; i < cfg.D; i++ {
+		nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, nhash.Seed(i),
+			asm.R8, asm.R0, asm.R1, asm.R2, asm.R3)
+		nfasm.EmitFold32(b, asm.R8, asm.R0)
+		b.AndImm(asm.R8, mask)
+		b.LshImm(asm.R8, 3)
+		b.Add(asm.R8, asm.R7)
+		b.Load(asm.R0, asm.R8, 0, 4)
+		b.Jmp(asm.JEQ, asm.R0, asm.R9, fmt.Sprintf("hit_%d", i))
+	}
+	b.MovImm(asm.R0, int32(Miss))
+	b.Exit()
+	for i := 0; i < cfg.D; i++ {
+		b.Label(fmt.Sprintf("hit_%d", i))
+		b.Load(asm.R0, asm.R8, 4, 4)
+		b.Exit()
+	}
+	return b
+}

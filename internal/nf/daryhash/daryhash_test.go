@@ -1,0 +1,82 @@
+package daryhash
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var cfg = Config{Slots: 4096, D: 4}
+
+func TestLookupHitMissAllFlavors(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 1500, Packets: 0, Seed: 1})
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		tb, err := New(flavor, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		// Low load (25%) so the random-walk displacement never fires.
+		for i := 0; i < 1000; i++ {
+			if !tb.Insert(trace.FlowKeys[i][:], uint32(100+i)) {
+				t.Fatalf("%v: insert %d failed", flavor, i)
+			}
+		}
+		var pkt [nf.PktSize]byte
+		for i := 0; i < 1500; i++ {
+			copy(pkt[:], trace.FlowKeys[i][:])
+			got, err := tb.Process(pkt[:])
+			if err != nil {
+				t.Fatalf("%v flow %d: %v", flavor, i, err)
+			}
+			if i < 1000 {
+				if got != uint64(100+i) {
+					t.Fatalf("%v: flow %d -> %d, want %d", flavor, i, got, 100+i)
+				}
+			} else if got != Miss {
+				t.Fatalf("%v: absent flow %d hit with %d", flavor, i, got)
+			}
+		}
+	}
+}
+
+func TestFlavorsAgree(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2000, Packets: 3000, ZipfS: 1.1, Seed: 2})
+	k, _ := New(nf.Kernel, cfg)
+	e, _ := New(nf.EBPF, cfg)
+	s, _ := New(nf.ENetSTL, cfg)
+	for i := 0; i < 1200; i++ {
+		for _, x := range []*Table{k, e, s} {
+			x.Insert(trace.FlowKeys[i][:], uint32(100+i))
+		}
+	}
+	for i := range trace.Packets {
+		a, _ := k.Process(trace.Packets[i][:])
+		b, _ := e.Process(trace.Packets[i][:])
+		c, _ := s.Process(trace.Packets[i][:])
+		if a != b || a != c {
+			t.Fatalf("pkt %d: %d %d %d", i, a, b, c)
+		}
+	}
+}
+
+func TestOverwriteSameKey(t *testing.T) {
+	tb, _ := New(nf.Kernel, cfg)
+	trace := pktgen.Generate(pktgen.Config{Flows: 1, Packets: 0, Seed: 3})
+	tb.Insert(trace.FlowKeys[0][:], 111)
+	tb.Insert(trace.FlowKeys[0][:], 222)
+	var pkt [nf.PktSize]byte
+	copy(pkt[:], trace.FlowKeys[0][:])
+	if got, _ := tb.Process(pkt[:]); got != 222 {
+		t.Fatalf("overwrite lost: %d", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Slots: 100, D: 4}); err == nil {
+		t.Fatal("bad slots accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Slots: 128, D: 1}); err == nil {
+		t.Fatal("bad d accepted")
+	}
+}

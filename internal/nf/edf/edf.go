@@ -1,0 +1,157 @@
+// Package edf implements the Elastic Flow Distributor load-balancing
+// lookup ([20], DPDK EFD): a flow key hashes to a group, and hash-bit
+// chunks select words from the group's parameter block whose XOR yields
+// the assigned target. The datapath cost is one wide hash plus a few
+// dependent loads — the multiple-hash behaviour of observation O2.
+//
+//   - Kernel: native Go.
+//   - EBPF: bytecode with the software hash.
+//   - ENetSTL: bytecode with kf_hash_fast64.
+//
+// All flavours compute the identical function, so group tables built by
+// the control plane work under every flavour.
+package edf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+)
+
+// Structure constants.
+const (
+	GroupWords = 16 // u32 parameter words per group
+	Chunks     = 4  // hash chunks combined per lookup
+	keySeed    = 11
+
+	// TargetBase is added to the selected target in the verdict.
+	TargetBase = 100
+)
+
+// Config sizes the distributor.
+type Config struct {
+	Groups  int // power of two
+	Targets int // power of two
+}
+
+func (c Config) validate() error {
+	if c.Groups <= 0 || c.Groups&(c.Groups-1) != 0 {
+		return fmt.Errorf("edf: groups %d must be a power of two", c.Groups)
+	}
+	if c.Targets <= 0 || c.Targets&(c.Targets-1) != 0 || c.Targets > 1<<16 {
+		return fmt.Errorf("edf: targets %d must be a power of two <= 65536", c.Targets)
+	}
+	return nil
+}
+
+// EDF is one built instance.
+type EDF struct {
+	nf.Instance
+	cfg   Config
+	table []uint32 // groups * GroupWords
+	arr   *maps.Array
+}
+
+// New builds the NF in the requested flavour.
+func New(flavor nf.Flavor, cfg Config) (*EDF, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &EDF{cfg: cfg, table: make([]uint32, cfg.Groups*GroupWords)}
+	// Populate parameter blocks; a real EFD trains these per group, the
+	// skeleton randomizes them (the datapath cost is identical).
+	rng := rand.New(rand.NewSource(4242))
+	for i := range e.table {
+		e.table[i] = rng.Uint32()
+	}
+	switch flavor {
+	case nf.Kernel:
+		e.Instance = &nf.NativeInstance{NFName: "edf", Fn: e.lookupNative}
+		return e, nil
+	case nf.EBPF, nf.ENetSTL:
+		machine := vm.New()
+		e.arr = maps.NewArray(GroupWords*4, cfg.Groups)
+		data := e.arr.Data()
+		for i, v := range e.table {
+			binary.LittleEndian.PutUint32(data[i*4:], v)
+		}
+		fd := machine.RegisterMap(e.arr)
+		if flavor == nf.ENetSTL {
+			core.Attach(machine, core.Config{})
+		}
+		b := buildProgram(fd, cfg, flavor == nf.ENetSTL)
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("edf: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "edf", ins, verifier.Options{CtxSize: nf.PktSize})
+		if err != nil {
+			return nil, err
+		}
+		e.Instance = nf.NewVMInstance("edf", flavor, machine, p)
+		return e, nil
+	}
+	return nil, fmt.Errorf("edf: unknown flavor %v", flavor)
+}
+
+// Target computes the assignment natively (shared by tests).
+func (e *EDF) Target(key []byte) uint32 {
+	h := nhash.FastHash64(key, keySeed)
+	g := uint32(h) & uint32(e.cfg.Groups-1)
+	acc := uint32(0)
+	for j := 0; j < Chunks; j++ {
+		idx := (h >> (16 + 4*uint(j))) & 15
+		acc ^= e.table[int(g)*GroupWords+int(idx)]
+	}
+	return acc & uint32(e.cfg.Targets-1)
+}
+
+func (e *EDF) lookupNative(pkt []byte) uint64 {
+	return TargetBase + uint64(e.Target(pkt[nf.OffKey:nf.OffKey+nf.KeyLen]))
+}
+
+func buildProgram(fd int32, cfg Config, enetstl bool) *asm.Builder {
+	b := asm.New()
+	gmask := int32(cfg.Groups - 1)
+	tmask := int32(cfg.Targets - 1)
+	b.Mov(asm.R6, asm.R1)
+	if enetstl {
+		b.Mov(asm.R1, asm.R6)
+		b.MovImm(asm.R2, nf.KeyLen)
+		b.MovImm(asm.R3, keySeed)
+		b.Kfunc(core.KfHashFast64)
+		b.Mov(asm.R8, asm.R0)
+	} else {
+		nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, keySeed,
+			asm.R8, asm.R0, asm.R1, asm.R2, asm.R3)
+	}
+	// Group lookup.
+	b.Mov(asm.R9, asm.R8).AndImm(asm.R9, gmask)
+	nfasm.EmitMapLookupOrExit(b, fd, asm.R9, -4, "grp")
+	b.Mov(asm.R7, asm.R0)
+	// acc (R9) = XOR of chunk-selected words.
+	b.MovImm(asm.R9, 0)
+	for j := 0; j < Chunks; j++ {
+		b.Mov(asm.R1, asm.R8)
+		b.RshImm(asm.R1, int32(16+4*j))
+		b.AndImm(asm.R1, 15)
+		b.LshImm(asm.R1, 2)
+		b.Add(asm.R1, asm.R7)
+		b.Load(asm.R1, asm.R1, 0, 4)
+		b.Xor(asm.R9, asm.R1)
+	}
+	b.AndImm(asm.R9, tmask)
+	b.Mov(asm.R0, asm.R9)
+	b.AddImm(asm.R0, TargetBase)
+	b.Exit()
+	return b
+}

@@ -1,0 +1,79 @@
+package edf
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var cfg = Config{Groups: 64, Targets: 16}
+
+func TestFlavorsAgree(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 500, Packets: 0, Seed: 51})
+	k, err := New(nf.Kernel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(nf.EBPF, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nf.ENetSTL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkt [nf.PktSize]byte
+	for i := 0; i < 500; i++ {
+		copy(pkt[:], trace.FlowKeys[i][:])
+		a, err1 := k.Process(pkt[:])
+		b, err2 := e.Process(pkt[:])
+		c, err3 := s.Process(pkt[:])
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatalf("flow %d: %v %v %v", i, err1, err2, err3)
+		}
+		if a != b || a != c {
+			t.Fatalf("flow %d: targets diverge %d %d %d", i, a, b, c)
+		}
+		if a < TargetBase || a >= TargetBase+uint64(cfg.Targets) {
+			t.Fatalf("flow %d: target %d out of range", i, a)
+		}
+	}
+}
+
+func TestAssignmentIsBalancedish(t *testing.T) {
+	e, err := New(nf.Kernel, Config{Groups: 256, Targets: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := pktgen.Generate(pktgen.Config{Flows: 8000, Packets: 0, Seed: 52})
+	counts := make([]int, 8)
+	for i := range trace.FlowKeys {
+		counts[e.Target(trace.FlowKeys[i][:])]++
+	}
+	for tgt, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Fatalf("target %d got %d of 8000 flows", tgt, c)
+		}
+	}
+}
+
+func TestAssignmentStable(t *testing.T) {
+	e, _ := New(nf.Kernel, cfg)
+	key := []byte("0123456789abcdef")
+	a := e.Target(key)
+	for i := 0; i < 10; i++ {
+		if e.Target(key) != a {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Groups: 3, Targets: 4}); err == nil {
+		t.Fatal("bad groups accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Groups: 4, Targets: 0}); err == nil {
+		t.Fatal("bad targets accepted")
+	}
+}

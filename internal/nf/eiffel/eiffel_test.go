@@ -1,0 +1,115 @@
+package eiffel
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"enetstl/internal/nf"
+)
+
+func mkPkt(op, arg uint32) []byte {
+	pkt := make([]byte, nf.PktSize)
+	binary.LittleEndian.PutUint32(pkt[nf.OffOp:], op)
+	binary.LittleEndian.PutUint32(pkt[nf.OffArg:], arg)
+	return pkt
+}
+
+func TestPriorityOrderAllFlavors(t *testing.T) {
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		for levels := 1; levels <= 3; levels++ {
+			q, err := New(flavor, Config{Levels: levels})
+			if err != nil {
+				t.Fatalf("%v L=%d: %v", flavor, levels, err)
+			}
+			prios := []uint32{500, 3, 77, 3, 12}
+			maxP := uint32(1)
+			for i := 0; i < levels; i++ {
+				maxP *= 64
+			}
+			for _, p := range prios {
+				if _, err := q.Process(mkPkt(nf.OpEnqueue, p%maxP)); err != nil {
+					t.Fatalf("%v L=%d enqueue: %v", flavor, levels, err)
+				}
+			}
+			want := make([]uint32, len(prios))
+			for i, p := range prios {
+				want[i] = p % maxP
+			}
+			// Dequeues must come out in ascending priority order.
+			var got []uint32
+			for range prios {
+				r, err := q.Process(mkPkt(nf.OpDequeue, 0))
+				if err != nil {
+					t.Fatalf("%v L=%d dequeue: %v", flavor, levels, err)
+				}
+				if r < FoundBase {
+					t.Fatalf("%v L=%d: premature empty (r=%d)", flavor, levels, r)
+				}
+				got = append(got, uint32(r-FoundBase))
+			}
+			for i := 1; i < len(got); i++ {
+				if got[i] < got[i-1] {
+					t.Fatalf("%v L=%d: out of order: %v", flavor, levels, got)
+				}
+			}
+			if r, _ := q.Process(mkPkt(nf.OpDequeue, 0)); r != Empty {
+				t.Fatalf("%v L=%d: expected empty, got %d", flavor, levels, r)
+			}
+		}
+	}
+}
+
+type intHeap []uint32
+
+func (h intHeap) Len() int            { return len(h) }
+func (h intHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h intHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *intHeap) Push(x interface{}) { *h = append(*h, x.(uint32)) }
+func (h *intHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// TestAgainstHeapModel drives random enqueue/dequeue against
+// container/heap on every flavour.
+func TestAgainstHeapModel(t *testing.T) {
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		q, err := New(flavor, Config{Levels: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(31))
+		model := &intHeap{}
+		for op := 0; op < 3000; op++ {
+			if rng.Intn(2) == 0 || model.Len() == 0 {
+				p := uint32(rng.Intn(4096))
+				if _, err := q.Process(mkPkt(nf.OpEnqueue, p)); err != nil {
+					t.Fatalf("%v: %v", flavor, err)
+				}
+				heap.Push(model, p)
+			} else {
+				r, err := q.Process(mkPkt(nf.OpDequeue, 0))
+				if err != nil {
+					t.Fatalf("%v: %v", flavor, err)
+				}
+				want := heap.Pop(model).(uint32)
+				if r != FoundBase+uint64(want) {
+					t.Fatalf("%v op %d: dequeued %d, want %d", flavor, op, r-FoundBase, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLevelsValidated(t *testing.T) {
+	for _, l := range []int{0, 4, -1} {
+		if _, err := New(nf.Kernel, Config{Levels: l}); err == nil {
+			t.Fatalf("levels=%d accepted", l)
+		}
+	}
+}

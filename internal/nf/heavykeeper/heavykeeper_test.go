@@ -1,0 +1,93 @@
+package heavykeeper
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var cfg = Config{Rows: 4, Width: 1024}
+
+func TestElephantsDetectedAllFlavors(t *testing.T) {
+	// A heavily zipf-skewed trace: the top flows must have estimates
+	// close to their true counts.
+	trace := pktgen.Generate(pktgen.Config{Flows: 512, Packets: 40000, ZipfS: 1.3, Seed: 81})
+	truth := make(map[int32]uint32)
+	for i := range trace.Packets {
+		truth[trace.FlowOf[i]]++
+	}
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		s, err := New(flavor, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		for i := range trace.Packets {
+			if _, err := s.Process(trace.Packets[i][:]); err != nil {
+				t.Fatalf("%v: %v", flavor, err)
+			}
+		}
+		for f, n := range truth {
+			if n < 2000 {
+				continue // only elephants
+			}
+			got := s.Estimate(trace.FlowKeys[f][:])
+			if got < n*8/10 || got > n {
+				t.Fatalf("%v: elephant flow %d estimate %d, true %d", flavor, f, got, n)
+			}
+		}
+	}
+}
+
+func TestKernelAndENetSTLIdentical(t *testing.T) {
+	// Both consume the same seeded pool with the same decisions, so
+	// their sketches must be bit-identical.
+	trace := pktgen.Generate(pktgen.Config{Flows: 128, Packets: 8000, ZipfS: 1.1, Seed: 82})
+	k, err := New(nf.Kernel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nf.ENetSTL, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range trace.Packets {
+		if _, err := k.Process(trace.Packets[i][:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Process(trace.Packets[i][:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for f := range trace.FlowKeys {
+		a := k.Estimate(trace.FlowKeys[f][:])
+		b := s.Estimate(trace.FlowKeys[f][:])
+		if a != b {
+			t.Fatalf("flow %d: kernel=%d enetstl=%d", f, a, b)
+		}
+	}
+}
+
+func TestMiceStayLow(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 20000, Seed: 83})
+	s, _ := New(nf.Kernel, cfg)
+	for i := range trace.Packets {
+		s.Process(trace.Packets[i][:])
+	}
+	// An unseen flow must estimate (near) zero.
+	probe := pktgen.Generate(pktgen.Config{Flows: 50, Packets: 0, Seed: 84})
+	for i := 10; i < 50; i++ {
+		if got := s.Estimate(probe.FlowKeys[i][:]); got > 0 {
+			t.Fatalf("unseen flow %d estimated %d", i, got)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Rows: 0, Width: 64}); err == nil {
+		t.Fatal("bad rows accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Rows: 2, Width: 100}); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}

@@ -1,0 +1,133 @@
+// Package nfasm provides shared bytecode emitters for the pure-eBPF NF
+// flavours: the software FastHash64 (what an eBPF program must do
+// because the ISA has no SIMD or CRC instructions — observation O2),
+// the software find-first-set loop (no FFS instruction — observation
+// O1), and small common program fragments.
+//
+// The emitted hash matches internal/nhash.FastHash64 bit-for-bit so
+// bytecode and native flavours agree on every table index.
+package nfasm
+
+import (
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/vm"
+)
+
+// FastHash64 constants, mirrored from internal/nhash.
+const (
+	FhM = 0x880355f21e6d1965
+	FhX = 0x2127599bf4325c37
+)
+
+// emitMix expands fhMix(w): w ^= w>>23; w *= X; w ^= w>>47, using t as
+// scratch and x holding the FhX constant.
+func emitMix(b *asm.Builder, w, t, x isa.Reg) {
+	b.Mov(t, w).RshImm(t, 23).Xor(w, t)
+	b.Mul(w, x)
+	b.Mov(t, w).RshImm(t, 47).Xor(w, t)
+}
+
+// EmitFastHash64 emits the software FastHash64 of klen bytes at
+// (base+off) into dst. klen must be a positive multiple of 4. seed is a
+// compile-time constant. Clobbers w, t, m, x; base is preserved. All
+// registers must be distinct.
+func EmitFastHash64(b *asm.Builder, base isa.Reg, off int16, klen int, seed uint64,
+	dst, w, t, m, x isa.Reg) {
+	if klen <= 0 || klen%4 != 0 {
+		panic("nfasm: EmitFastHash64: klen must be a positive multiple of 4")
+	}
+	b.LoadImm64(m, FhM)
+	b.LoadImm64(x, FhX)
+	b.LoadImm64(dst, seed^uint64(klen)*FhM)
+	i := 0
+	for ; i+8 <= klen; i += 8 {
+		b.Load(w, base, off+int16(i), 8)
+		emitMix(b, w, t, x)
+		b.Xor(dst, w)
+		b.Mul(dst, m)
+	}
+	if i < klen { // 4-byte tail, zero-extended like the native version
+		b.Load(w, base, off+int16(i), 4)
+		emitMix(b, w, t, x)
+		b.Xor(dst, w)
+		b.Mul(dst, m)
+	}
+	emitMix(b, dst, t, x)
+}
+
+// EmitFold32 folds a 64-bit hash in reg to FastHash32 semantics:
+// reg = (u32)reg ^ (u32)(reg>>32), using t as scratch.
+func EmitFold32(b *asm.Builder, reg, t isa.Reg) {
+	b.Mov(t, reg).RshImm(t, 32)
+	b.Xor(reg, t)
+	b.Mov32(reg, reg) // truncate to 32 bits
+}
+
+// EmitSoftCTZ64 emits the branchless software count-trailing-zeros of
+// src into dst (0-based; src must be non-zero): isolate the lowest set
+// bit, subtract one, and SWAR-popcount the resulting low mask — the
+// ~20-ALU-instruction sequence an eBPF program needs because the ISA
+// has neither TZCNT nor POPCNT. Clobbers t and c; src is preserved.
+// All registers must be distinct.
+func EmitSoftCTZ64(b *asm.Builder, src, dst, t, c isa.Reg) {
+	// dst = src & -src (lowest set bit), then dst-1 = mask of zeros below.
+	b.Mov(dst, src).Neg(dst).And(dst, src)
+	b.SubImm(dst, 1)
+	// SWAR popcount of dst.
+	b.Mov(t, dst).RshImm(t, 1)
+	b.LoadImm64(c, 0x5555555555555555)
+	b.And(t, c)
+	b.Sub(dst, t) // x = x - ((x>>1) & 0x55..)
+	b.LoadImm64(c, 0x3333333333333333)
+	b.Mov(t, dst).RshImm(t, 2).And(t, c)
+	b.And(dst, c)
+	b.Add(dst, t) // x = (x & 0x33..) + ((x>>2) & 0x33..)
+	b.Mov(t, dst).RshImm(t, 4).Add(dst, t)
+	b.LoadImm64(c, 0x0f0f0f0f0f0f0f0f)
+	b.And(dst, c) // x = (x + (x>>4)) & 0x0f..
+	b.LoadImm64(c, 0x0101010101010101)
+	b.Mul(dst, c)
+	b.RshImm(dst, 56)
+}
+
+// EmitMapLookupOrExit emits: key (4-byte index) from idxReg to stack at
+// keyOff, bpf_map_lookup_elem(fd), null-checked; on miss the program
+// exits with XDP_ABORTED. The value pointer is left in R0. Clobbers
+// R1-R5. idxReg must not be R1-R2.
+func EmitMapLookupOrExit(b *asm.Builder, fd int32, idxReg isa.Reg, keyOff int16, tag string) {
+	hit := "lk_hit_" + tag
+	b.Store(asm.R10, keyOff, idxReg, 4)
+	b.LoadMap(asm.R1, fd)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, int32(keyOff))
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JNE, asm.R0, 0, hit)
+	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.Exit()
+	b.Label(hit)
+}
+
+// EmitMapLookupConstOrExit is EmitMapLookupOrExit for a constant index.
+func EmitMapLookupConstOrExit(b *asm.Builder, fd int32, idx int32, keyOff int16, tag string) {
+	hit := "lkc_hit_" + tag
+	b.StoreImm(asm.R10, keyOff, idx, 4)
+	b.LoadMap(asm.R1, fd)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, int32(keyOff))
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JNE, asm.R0, 0, hit)
+	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.Exit()
+	b.Label(hit)
+}
+
+// EmitLoadHandleOrExit loads an 8-byte kernel-object handle from
+// (valReg+off), null-checks it, and leaves it in dst. On a zero handle
+// the program exits with XDP_ABORTED.
+func EmitLoadHandleOrExit(b *asm.Builder, valReg isa.Reg, off int16, dst isa.Reg, tag string) {
+	ok := "h_ok_" + tag
+	b.Load(dst, valReg, off, 8)
+	b.JmpImm(asm.JNE, dst, 0, ok)
+	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.Exit()
+	b.Label(ok)
+}

@@ -1,0 +1,137 @@
+package nfasm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"enetstl/internal/bitops"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+)
+
+// runProg verifies and runs one program over ctx, returning R0.
+func runProg(t *testing.T, b *asm.Builder, ctx []byte) uint64 {
+	t.Helper()
+	machine := vm.New()
+	prog, err := verifier.LoadAndVerify(machine, "nfasm", b.MustProgram(),
+		verifier.Options{CtxSize: len(ctx)})
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	got, err := machine.Run(prog, ctx)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got
+}
+
+// TestEmittedHashMatchesNative is the lockstep guarantee every
+// flavour-equivalence test rests on: the bytecode FastHash64 must equal
+// internal/nhash bit for bit, for every key length and seed used.
+func TestEmittedHashMatchesNative(t *testing.T) {
+	for _, klen := range []int{4, 8, 12, 16, 20, 32} {
+		for _, seed := range []uint64{0, 1, nhash.Seed(3), 0xdeadbeefcafebabe} {
+			b := asm.New()
+			b.Mov(asm.R6, asm.R1)
+			nfasm.EmitFastHash64(b, asm.R6, 0, klen, seed,
+				asm.R0, asm.R1, asm.R2, asm.R3, asm.R4)
+			b.Exit()
+			ctx := make([]byte, 64)
+			for i := range ctx {
+				ctx[i] = byte(i*7 + 13)
+			}
+			got := runProg(t, b, ctx)
+			want := nhash.FastHash64(ctx[:klen], seed)
+			if got != want {
+				t.Fatalf("klen=%d seed=%#x: bytecode %#x, native %#x", klen, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestEmittedHashRejectsBadKlen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd klen accepted")
+		}
+	}()
+	b := asm.New()
+	nfasm.EmitFastHash64(b, asm.R6, 0, 7, 1, asm.R0, asm.R1, asm.R2, asm.R3, asm.R4)
+}
+
+func TestEmittedFold32MatchesNative(t *testing.T) {
+	b := asm.New()
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitFastHash64(b, asm.R6, 0, 16, 5, asm.R0, asm.R1, asm.R2, asm.R3, asm.R4)
+	nfasm.EmitFold32(b, asm.R0, asm.R1)
+	b.Exit()
+	ctx := make([]byte, 64)
+	copy(ctx, "fold-me-16-bytes")
+	got := runProg(t, b, ctx)
+	if got != uint64(nhash.FastHash32(ctx[:16], 5)) {
+		t.Fatalf("fold32 mismatch: %#x", got)
+	}
+}
+
+// TestEmittedCTZMatchesHardware checks the branchless software CTZ the
+// eBPF flavours inline against math/bits, over random inputs.
+func TestEmittedCTZMatchesHardware(t *testing.T) {
+	machine := vm.New()
+	b := asm.New()
+	b.Load(asm.R6, asm.R1, 0, 8)
+	// Guard against zero, as the emitter requires.
+	b.JmpImm(asm.JNE, asm.R6, 0, "nz")
+	b.MovImm(asm.R0, 64).Exit()
+	b.Label("nz")
+	nfasm.EmitSoftCTZ64(b, asm.R6, asm.R0, asm.R1, asm.R2)
+	b.Exit()
+	prog, err := verifier.LoadAndVerify(machine, "ctz", b.MustProgram(), verifier.Options{CtxSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(x uint64) bool {
+		var ctx [8]byte
+		for i := 0; i < 8; i++ {
+			ctx[i] = byte(x >> (8 * i))
+		}
+		got, err := machine.Run(prog, ctx[:])
+		return err == nil && got == uint64(bitops.CTZ(x))
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapLookupMacroHitAndMiss(t *testing.T) {
+	machine := vm.New()
+	// Hash map with nothing in it: the lookup misses and the macro's
+	// exit path runs.
+	fd := machine.RegisterMap(maps.NewHash(4, 8, 16))
+	b := asm.New()
+	b.Mov(asm.R6, asm.R1)
+	b.StoreImm(asm.R10, -8, 99, 4) // some absent key
+	b.StoreImm(asm.R10, -4, 0, 4)
+	b.LoadMap(asm.R1, fd)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, -8)
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JNE, asm.R0, 0, "hit")
+	b.MovImm(asm.R0, 7)
+	b.Exit()
+	b.Label("hit")
+	b.MovImm(asm.R0, 8)
+	b.Exit()
+	prog, err := verifier.LoadAndVerify(machine, "miss", b.MustProgram(), verifier.Options{CtxSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := machine.Run(prog, make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("miss path returned %d", got)
+	}
+}

@@ -1,0 +1,91 @@
+package nitrosketch
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+func TestUnbiasedEstimates(t *testing.T) {
+	// With p = 1/4 and a heavy flow of ~n packets, the estimate should
+	// concentrate near n on every flavour.
+	trace := pktgen.Generate(pktgen.Config{Flows: 4, Packets: 40000, Seed: 21})
+	truth := make(map[int32]uint32)
+	for i := range trace.Packets {
+		truth[trace.FlowOf[i]]++
+	}
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		s, err := New(flavor, Config{Rows: 8, Width: 1024, ProbLog2: 2})
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		for i := range trace.Packets {
+			if _, err := s.Process(trace.Packets[i][:]); err != nil {
+				t.Fatalf("%v: %v", flavor, err)
+			}
+		}
+		for f, n := range truth {
+			got := s.Estimate(trace.FlowKeys[f][:])
+			lo, hi := n*7/10, n*13/10
+			if got < lo || got > hi {
+				t.Fatalf("%v: flow %d estimate %d outside [%d,%d] (true %d)",
+					flavor, f, got, lo, hi, n)
+			}
+		}
+	}
+}
+
+func TestProbOneMatchesCountMin(t *testing.T) {
+	// p=1 degenerates to an exact count-min update: estimates must be
+	// >= truth deterministically.
+	trace := pktgen.Generate(pktgen.Config{Flows: 16, Packets: 2000, Seed: 22})
+	truth := make(map[int32]uint32)
+	for i := range trace.Packets {
+		truth[trace.FlowOf[i]]++
+	}
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		s, err := New(flavor, Config{Rows: 4, Width: 512, ProbLog2: 0})
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		for i := range trace.Packets {
+			if _, err := s.Process(trace.Packets[i][:]); err != nil {
+				t.Fatalf("%v: %v", flavor, err)
+			}
+		}
+		for f, n := range truth {
+			if got := s.Estimate(trace.FlowKeys[f][:]); got < n {
+				t.Fatalf("%v: flow %d estimate %d < truth %d", flavor, f, got, n)
+			}
+		}
+	}
+}
+
+func TestProbSweepVerifies(t *testing.T) {
+	for _, k := range []int{0, 1, 2, 4, 6, 8} {
+		for _, flavor := range []nf.Flavor{nf.EBPF, nf.ENetSTL} {
+			s, err := New(flavor, Config{Rows: 8, Width: 256, ProbLog2: k})
+			if err != nil {
+				t.Fatalf("k=%d %v: %v", k, flavor, err)
+			}
+			var pkt [nf.PktSize]byte
+			if _, err := s.Process(pkt[:]); err != nil {
+				t.Fatalf("k=%d %v: %v", k, flavor, err)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 0, Width: 256, ProbLog2: 1},
+		{Rows: 4, Width: 100, ProbLog2: 1},
+		{Rows: 4, Width: 256, ProbLog2: 20},
+	}
+	for _, cfg := range bad {
+		if _, err := New(nf.Kernel, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}

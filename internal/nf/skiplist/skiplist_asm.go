@@ -1,0 +1,352 @@
+package skiplist
+
+import (
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+)
+
+// Stack slots used by the traversal programs.
+const (
+	slotLvl    = -32 // current level (signed)
+	slotHeight = -40 // new-node height (insert)
+	slotStash  = -48 // found-value stash (lookup)
+	slotKeyIdx = -4  // map key scratch
+)
+
+// Register roles: R6 ctx, R7 cur (ref held), R8 new node / bridge
+// scratch, R9 next (ref held briefly). The level lives on the stack so
+// it survives kfunc calls without spilling pointers.
+
+// emitPreamble loads the proxy handle, acquires the root into R7, and
+// initializes the level. Leaves the handle in R1-clobbering scratch, so
+// callers needing it (insert) reload it themselves.
+func emitPreamble(b *asm.Builder, sFD int32) {
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, sFD, 0, slotKeyIdx, "sl")
+	nfasm.EmitLoadHandleOrExit(b, asm.R0, 0, asm.R1, "ph")
+	b.Kfunc(core.KfProxyRoot)
+	b.JmpImm(asm.JNE, asm.R0, 0, "root_ok")
+	b.MovImm(asm.R0, 0)
+	b.Exit()
+	b.Label("root_ok")
+	b.Mov(asm.R7, asm.R0)
+	b.MovImm(asm.R9, 0)
+	b.StoreImm(asm.R10, slotLvl, MaxHeight-1, 8)
+}
+
+// emitCompare emits the (k0,k1) comparison of the node in R9 against
+// the packet key, branching to less/greater; equality falls through.
+// Clobbers R0, R1.
+func emitCompare(b *asm.Builder, less, greater string) {
+	b.Load(asm.R0, asm.R9, 0, 8)
+	b.Load(asm.R1, asm.R6, 0, 8)
+	b.Jmp(asm.JLT, asm.R0, asm.R1, less)
+	b.Jmp(asm.JGT, asm.R0, asm.R1, greater)
+	b.Load(asm.R0, asm.R9, 8, 8)
+	b.Load(asm.R1, asm.R6, 8, 8)
+	b.Jmp(asm.JLT, asm.R0, asm.R1, less)
+	b.Jmp(asm.JGT, asm.R0, asm.R1, greater)
+}
+
+// buildLookup emits the lookup program: the find path of Case Study 1.
+func buildLookup(sFD int32) *asm.Builder {
+	b := asm.New()
+	emitPreamble(b, sFD)
+	for i := 0; i < maxSteps; i++ {
+		adv := fmt.Sprintf("adv_%d", i)
+		geq := fmt.Sprintf("geq_%d", i)
+		have := fmt.Sprintf("have_%d", i)
+		end := fmt.Sprintf("end_%d", i)
+
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.JmpImm(asm.JSLT, asm.R1, 0, "miss")
+		b.Mov(asm.R2, asm.R1)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeNext)
+		b.JmpImm(asm.JNE, asm.R0, 0, have)
+		// Empty slot: descend.
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.SubImm(asm.R1, 1)
+		b.Store(asm.R10, slotLvl, asm.R1, 8)
+		b.Ja(end)
+
+		b.Label(have)
+		b.Mov(asm.R9, asm.R0)
+		emitCompare(b, adv, geq)
+		b.Ja("found") // equal
+
+		b.Label(adv)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeRelease)
+		b.Mov(asm.R7, asm.R9)
+		b.MovImm(asm.R9, 0)
+		b.Ja(end)
+
+		b.Label(geq)
+		b.Mov(asm.R1, asm.R9)
+		b.Kfunc(core.KfNodeRelease)
+		b.MovImm(asm.R9, 0)
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.SubImm(asm.R1, 1)
+		b.Store(asm.R10, slotLvl, asm.R1, 8)
+		b.Label(end)
+	}
+	b.Ja("miss") // traversal budget exhausted
+
+	b.Label("found")
+	b.Load(asm.R0, asm.R9, offValue, 1)
+	b.Store(asm.R10, slotStash, asm.R0, 8)
+	b.Mov(asm.R1, asm.R9)
+	b.Kfunc(core.KfNodeRelease)
+	b.Mov(asm.R1, asm.R7)
+	b.Kfunc(core.KfNodeRelease)
+	b.Load(asm.R0, asm.R10, slotStash, 8)
+	b.AddImm(asm.R0, FoundBase)
+	b.Exit()
+
+	b.Label("miss")
+	b.Mov(asm.R1, asm.R7)
+	b.Kfunc(core.KfNodeRelease)
+	b.MovImm(asm.R0, NotFound)
+	b.Exit()
+	return b
+}
+
+// buildInsert emits the insert program (Listing 3's pattern: alloc,
+// set_owner, connect during the descent, release).
+func buildInsert(sFD int32) *asm.Builder {
+	b := asm.New()
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, sFD, 0, slotKeyIdx, "sl")
+	b.Mov(asm.R8, asm.R0) // state value ptr (handle slot)
+
+	// Deterministic height: ffs(hash(key)) capped at MaxHeight.
+	b.Mov(asm.R1, asm.R6)
+	b.MovImm(asm.R2, nf.KeyLen)
+	b.MovImm(asm.R3, heightSeed)
+	b.Kfunc(core.KfHashFast64)
+	b.Mov(asm.R1, asm.R0)
+	b.Kfunc(core.KfFFS64)
+	b.JmpImm(asm.JNE, asm.R0, 0, "h_nz")
+	b.MovImm(asm.R0, 1)
+	b.Label("h_nz")
+	b.JmpImm(asm.JLE, asm.R0, MaxHeight, "h_cap")
+	b.MovImm(asm.R0, MaxHeight)
+	b.Label("h_cap")
+	b.Store(asm.R10, slotHeight, asm.R0, 8)
+
+	// new = node_alloc(handle, height)
+	nfasm.EmitLoadHandleOrExit(b, asm.R8, 0, asm.R1, "ph")
+	b.Load(asm.R2, asm.R10, slotHeight, 8)
+	b.Kfunc(core.KfNodeAlloc)
+	b.JmpImm(asm.JNE, asm.R0, 0, "alloc_ok")
+	b.MovImm(asm.R0, 0)
+	b.Exit()
+	b.Label("alloc_ok")
+	b.Mov(asm.R8, asm.R0)
+	// Fill key, value, height.
+	b.Load(asm.R1, asm.R6, 0, 8).Store(asm.R8, 0, asm.R1, 8)
+	b.Load(asm.R1, asm.R6, 8, 8).Store(asm.R8, 8, asm.R1, 8)
+	for i := 0; i < ValueSize; i += 8 {
+		b.Load(asm.R1, asm.R6, int16(nf.OffValue+i), 8)
+		b.Store(asm.R8, int16(offValue+i), asm.R1, 8)
+	}
+	b.Load(asm.R1, asm.R10, slotHeight, 8)
+	b.Store(asm.R8, offHeight, asm.R1, 4)
+	// set_owner(new): the proxy keeps it alive after our release.
+	b.Mov(asm.R1, asm.R8)
+	b.Kfunc(core.KfNodeSetOwner)
+
+	// cur = proxy_root(handle). Failures release the new node's
+	// reference before exiting (the verifier enforces this).
+	b.StoreImm(asm.R10, slotKeyIdx, 0, 4)
+	b.LoadMap(asm.R1, sFD)
+	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, slotKeyIdx)
+	b.Call(vm.HelperMapLookup)
+	b.JmpImm(asm.JEQ, asm.R0, 0, "fail_rel8")
+	b.Load(asm.R1, asm.R0, 0, 8)
+	b.JmpImm(asm.JEQ, asm.R1, 0, "fail_rel8")
+	b.Kfunc(core.KfProxyRoot)
+	b.JmpImm(asm.JEQ, asm.R0, 0, "fail_rel8")
+	b.Mov(asm.R7, asm.R0)
+	b.MovImm(asm.R9, 0)
+	b.StoreImm(asm.R10, slotLvl, MaxHeight-1, 8)
+
+	for i := 0; i < maxSteps; i++ {
+		adv := fmt.Sprintf("adv_%d", i)
+		geq := fmt.Sprintf("geq_%d", i)
+		have := fmt.Sprintf("have_%d", i)
+		end := fmt.Sprintf("end_%d", i)
+		skipc := fmt.Sprintf("skipc_%d", i)
+		skipc2 := fmt.Sprintf("skipc2_%d", i)
+
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.JmpImm(asm.JSLT, asm.R1, 0, "done")
+		b.Mov(asm.R2, asm.R1)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeNext)
+		b.JmpImm(asm.JNE, asm.R0, 0, have)
+		// Empty slot: link here if lvl < height, then descend.
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.Load(asm.R2, asm.R10, slotHeight, 8)
+		b.Jmp(asm.JSGE, asm.R1, asm.R2, skipc)
+		b.Mov(asm.R1, asm.R7)
+		b.Load(asm.R2, asm.R10, slotLvl, 8)
+		b.Mov(asm.R3, asm.R8)
+		b.Kfunc(core.KfNodeConnect)
+		b.Label(skipc)
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.SubImm(asm.R1, 1)
+		b.Store(asm.R10, slotLvl, asm.R1, 8)
+		b.Ja(end)
+
+		b.Label(have)
+		b.Mov(asm.R9, asm.R0)
+		emitCompare(b, adv, geq)
+		b.Ja(geq) // equal: insert before duplicates
+
+		b.Label(adv)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeRelease)
+		b.Mov(asm.R7, asm.R9)
+		b.MovImm(asm.R9, 0)
+		b.Ja(end)
+
+		b.Label(geq)
+		// Link between cur and next when lvl < height (Listing 3 order:
+		// new->next first, then cur->new).
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.Load(asm.R2, asm.R10, slotHeight, 8)
+		b.Jmp(asm.JSGE, asm.R1, asm.R2, skipc2)
+		b.Mov(asm.R1, asm.R8)
+		b.Load(asm.R2, asm.R10, slotLvl, 8)
+		b.Mov(asm.R3, asm.R9)
+		b.Kfunc(core.KfNodeConnect)
+		b.Mov(asm.R1, asm.R7)
+		b.Load(asm.R2, asm.R10, slotLvl, 8)
+		b.Mov(asm.R3, asm.R8)
+		b.Kfunc(core.KfNodeConnect)
+		b.Label(skipc2)
+		b.Mov(asm.R1, asm.R9)
+		b.Kfunc(core.KfNodeRelease)
+		b.MovImm(asm.R9, 0)
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.SubImm(asm.R1, 1)
+		b.Store(asm.R10, slotLvl, asm.R1, 8)
+		b.Label(end)
+	}
+	// Budget exhausted: report a partial insert.
+	b.Mov(asm.R1, asm.R7)
+	b.Kfunc(core.KfNodeRelease)
+	b.Mov(asm.R1, asm.R8)
+	b.Kfunc(core.KfNodeRelease)
+	b.MovImm(asm.R0, Partial)
+	b.Exit()
+
+	b.Label("done")
+	b.Mov(asm.R1, asm.R7)
+	b.Kfunc(core.KfNodeRelease)
+	b.Mov(asm.R1, asm.R8)
+	b.Kfunc(core.KfNodeRelease)
+	b.MovImm(asm.R0, Inserted)
+	b.Exit()
+
+	b.Label("fail_rel8")
+	b.Mov(asm.R1, asm.R8)
+	b.Kfunc(core.KfNodeRelease)
+	b.MovImm(asm.R0, 0)
+	b.Exit()
+	return b
+}
+
+// buildDelete emits the delete program: bridge level 0 explicitly and
+// let lazy safety checking clear the higher-level predecessor edges
+// when the node is freed.
+func buildDelete(sFD int32) *asm.Builder {
+	b := asm.New()
+	emitPreamble(b, sFD)
+	for i := 0; i < maxSteps; i++ {
+		adv := fmt.Sprintf("adv_%d", i)
+		geq := fmt.Sprintf("geq_%d", i)
+		have := fmt.Sprintf("have_%d", i)
+		end := fmt.Sprintf("end_%d", i)
+		eq := fmt.Sprintf("eq_%d", i)
+		bridge := fmt.Sprintf("bridge_%d", i)
+		unlink := fmt.Sprintf("unlink_%d", i)
+
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.JmpImm(asm.JSLT, asm.R1, 0, "miss")
+		b.Mov(asm.R2, asm.R1)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeNext)
+		b.JmpImm(asm.JNE, asm.R0, 0, have)
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.SubImm(asm.R1, 1)
+		b.Store(asm.R10, slotLvl, asm.R1, 8)
+		b.Ja(end)
+
+		b.Label(have)
+		b.Mov(asm.R9, asm.R0)
+		emitCompare(b, adv, geq)
+		// Equal: bridge this level around the target; free at level 0.
+		b.Label(eq)
+		b.Mov(asm.R1, asm.R9)
+		b.Load(asm.R2, asm.R10, slotLvl, 8)
+		b.Kfunc(core.KfNodeNext)
+		b.JmpImm(asm.JNE, asm.R0, 0, bridge)
+		b.Mov(asm.R1, asm.R7)
+		b.Load(asm.R2, asm.R10, slotLvl, 8)
+		b.Kfunc(core.KfNodeDisconnect)
+		b.Ja(unlink)
+		b.Label(bridge)
+		b.Mov(asm.R8, asm.R0) // nn
+		b.Mov(asm.R1, asm.R7)
+		b.Load(asm.R2, asm.R10, slotLvl, 8)
+		b.Mov(asm.R3, asm.R8)
+		b.Kfunc(core.KfNodeConnect)
+		b.Mov(asm.R1, asm.R8)
+		b.Kfunc(core.KfNodeRelease)
+		b.Label(unlink)
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.JmpImm(asm.JNE, asm.R1, 0, geq) // not bottom: drop ref, descend
+		// Bottom level: unset ownership, drop our reference. Lazy
+		// safety clears any predecessor edge the descent missed.
+		b.Mov(asm.R1, asm.R9)
+		b.Kfunc(core.KfNodeUnsetOwner)
+		b.Mov(asm.R1, asm.R9)
+		b.Kfunc(core.KfNodeRelease)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeRelease)
+		b.MovImm(asm.R0, DeletedV)
+		b.Exit()
+
+		b.Label(adv)
+		b.Mov(asm.R1, asm.R7)
+		b.Kfunc(core.KfNodeRelease)
+		b.Mov(asm.R7, asm.R9)
+		b.MovImm(asm.R9, 0)
+		b.Ja(end)
+
+		b.Label(geq)
+		b.Mov(asm.R1, asm.R9)
+		b.Kfunc(core.KfNodeRelease)
+		b.MovImm(asm.R9, 0)
+		b.Load(asm.R1, asm.R10, slotLvl, 8)
+		b.SubImm(asm.R1, 1)
+		b.Store(asm.R10, slotLvl, asm.R1, 8)
+		b.Label(end)
+	}
+	b.Ja("miss")
+
+	b.Label("miss")
+	b.Mov(asm.R1, asm.R7)
+	b.Kfunc(core.KfNodeRelease)
+	b.MovImm(asm.R0, NotFound)
+	b.Exit()
+	return b
+}

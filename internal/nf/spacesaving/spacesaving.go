@@ -1,0 +1,244 @@
+// Package spacesaving implements the Space-Saving top-k counting NF
+// ([50, 55]): a fixed set of monitored (fingerprint, count) slots; a
+// hit increments its slot, a miss captures the minimum-count slot and
+// resumes from min+1. The datapath behaviours are observation O6
+// (scan buckets in contiguous memory) twice over: a fingerprint
+// comparison scan and a min-reduction.
+//
+//   - Kernel: native Go (simd.FindU32 + simd.MinU32).
+//   - EBPF: bytecode; software hash plus scalar scan and min loops.
+//   - ENetSTL: bytecode; kf_hash_fast64, kf_find_u32, kf_min_u32.
+//
+// All flavours compute the identical function.
+package spacesaving
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+	"enetstl/internal/simd"
+)
+
+const fpSeed = 31
+
+// Config sizes the summary.
+type Config struct {
+	Slots int // monitored flows, power of two in [8, 1024]
+}
+
+func (c Config) validate() error {
+	if c.Slots < 8 || c.Slots > 1024 || c.Slots&(c.Slots-1) != 0 {
+		return fmt.Errorf("spacesaving: slots %d must be a power of two in [8,1024]", c.Slots)
+	}
+	return nil
+}
+
+// Summary is one built instance. Layout: Slots u32 fingerprints, then
+// Slots u32 counts (two contiguous lanes, so both scans are wide ops).
+type Summary struct {
+	nf.Instance
+	cfg    Config
+	native []uint32
+	arr    *maps.Array
+}
+
+func keyFP(key []byte) uint32 {
+	fp := nhash.FastHash32(key, fpSeed)
+	if fp == 0 {
+		fp = 1
+	}
+	return fp
+}
+
+// New builds the NF in the requested flavour.
+func New(flavor nf.Flavor, cfg Config) (*Summary, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Summary{cfg: cfg}
+	switch flavor {
+	case nf.Kernel:
+		s.native = make([]uint32, 2*cfg.Slots)
+		s.Instance = &nf.NativeInstance{NFName: "spacesaving", Fn: s.updateNative}
+		return s, nil
+	case nf.EBPF, nf.ENetSTL:
+		machine := vm.New()
+		s.arr = maps.NewArray(2*cfg.Slots*4, 1)
+		fd := machine.RegisterMap(s.arr)
+		if flavor == nf.ENetSTL {
+			core.Attach(machine, core.Config{})
+		}
+		b := buildProgram(fd, cfg, flavor == nf.ENetSTL)
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("spacesaving: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "spacesaving", ins,
+			verifier.Options{CtxSize: nf.PktSize, StateBudget: 1 << 21})
+		if err != nil {
+			return nil, err
+		}
+		s.Instance = nf.NewVMInstance("spacesaving", flavor, machine, p)
+		return s, nil
+	}
+	return nil, fmt.Errorf("spacesaving: unknown flavor %v", flavor)
+}
+
+func (s *Summary) store() []uint32 {
+	if s.native != nil {
+		return s.native
+	}
+	d := s.arr.Data()
+	out := make([]uint32, 2*s.cfg.Slots)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(d[i*4:])
+	}
+	return out
+}
+
+// updateNative is the kernel flavour.
+func (s *Summary) updateNative(pkt []byte) uint64 {
+	fp := keyFP(pkt[nf.OffKey : nf.OffKey+nf.KeyLen])
+	n := s.cfg.Slots
+	fps := s.native[:n]
+	counts := s.native[n:]
+	if i := simd.FindU32(fps, fp); i >= 0 {
+		counts[i]++
+		return vm.XDPDrop
+	}
+	i, min := simd.MinU32(counts)
+	fps[i] = fp
+	counts[i] = min + 1
+	return vm.XDPDrop
+}
+
+// Estimate returns the monitored count of key (0 if unmonitored).
+func (s *Summary) Estimate(key []byte) uint32 {
+	fp := keyFP(key)
+	st := s.store()
+	n := s.cfg.Slots
+	if i := simd.FindU32(st[:n], fp); i >= 0 {
+		return st[n+i]
+	}
+	return 0
+}
+
+// buildProgram emits the update datapath; enetstl switches the scan and
+// the min-reduction to kfuncs.
+func buildProgram(fd int32, cfg Config, enetstl bool) *asm.Builder {
+	b := asm.New()
+	n := int32(cfg.Slots)
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, fd, 0, -4, "ss")
+	b.Mov(asm.R7, asm.R0)
+	// fp -> R9
+	if enetstl {
+		b.Mov(asm.R1, asm.R6)
+		b.MovImm(asm.R2, nf.KeyLen)
+		b.MovImm(asm.R3, fpSeed)
+		b.Kfunc(core.KfHashFast64)
+		b.Mov(asm.R9, asm.R0)
+		nfasm.EmitFold32(b, asm.R9, asm.R0)
+	} else {
+		nfasm.EmitFastHash64(b, asm.R6, nf.OffKey, nf.KeyLen, fpSeed,
+			asm.R9, asm.R0, asm.R1, asm.R2, asm.R3)
+		nfasm.EmitFold32(b, asm.R9, asm.R0)
+	}
+	b.JmpImm(asm.JNE, asm.R9, 0, "fp_ok")
+	b.MovImm(asm.R9, 1)
+	b.Label("fp_ok")
+
+	if enetstl {
+		// kf_find_u32 over the fingerprint lane.
+		b.Mov(asm.R1, asm.R7)
+		b.MovImm(asm.R2, n*4)
+		b.Mov(asm.R3, asm.R9)
+		b.Kfunc(core.KfFindU32)
+		b.JmpImm(asm.JEQ, asm.R0, -1, "miss")
+		// counts[i]++
+		b.AndImm(asm.R0, n-1)
+		b.LshImm(asm.R0, 2)
+		b.Add(asm.R0, asm.R7)
+		b.Load(asm.R1, asm.R0, int16(n*4), 4)
+		b.AddImm(asm.R1, 1)
+		b.Store(asm.R0, int16(n*4), asm.R1, 4)
+		b.MovImm(asm.R0, int32(vm.XDPDrop))
+		b.Exit()
+		b.Label("miss")
+		// kf_min_u32 over the count lane -> idx<<32 | min.
+		b.Mov(asm.R1, asm.R7)
+		b.AddImm(asm.R1, n*4)
+		b.MovImm(asm.R2, n*4)
+		b.Kfunc(core.KfMinU32)
+		b.Mov(asm.R8, asm.R0)
+		b.RshImm(asm.R8, 32)
+		b.AndImm(asm.R8, n-1) // slot index
+		b.Mov32(asm.R0, asm.R0)
+		b.AddImm(asm.R0, 1) // min + 1
+		b.Mov(asm.R1, asm.R8)
+		b.LshImm(asm.R1, 2)
+		b.Add(asm.R1, asm.R7)
+		b.Store(asm.R1, 0, asm.R9, 4)          // capture fingerprint
+		b.Store(asm.R1, int16(n*4), asm.R0, 4) // count = min+1
+		b.MovImm(asm.R0, int32(vm.XDPDrop))
+		b.Exit()
+		return b
+	}
+
+	// Pure eBPF: bounded scalar scan for the fingerprint.
+	b.MovImm(asm.R8, 0) // index
+	b.BoundedLoop(asm.R5, n, func(b *asm.Builder) {
+		b.Mov(asm.R0, asm.R5)
+		b.AndImm(asm.R0, n-1)
+		b.LshImm(asm.R0, 2)
+		b.Add(asm.R0, asm.R7)
+		b.Load(asm.R1, asm.R0, 0, 4)
+		b.Jmp(asm.JEQ, asm.R1, asm.R9, "hit")
+	})
+	b.Ja("miss")
+	b.Label("hit")
+	// R5 holds the matching index (counter preserved by the body).
+	b.Mov(asm.R0, asm.R5)
+	b.AndImm(asm.R0, n-1)
+	b.LshImm(asm.R0, 2)
+	b.Add(asm.R0, asm.R7)
+	b.Load(asm.R1, asm.R0, int16(n*4), 4)
+	b.AddImm(asm.R1, 1)
+	b.Store(asm.R0, int16(n*4), asm.R1, 4)
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
+	b.Exit()
+
+	// Miss: software min-reduction over the counts, then capture.
+	b.Label("miss")
+	b.MovImm(asm.R8, 0)  // argmin
+	b.MovImm(asm.R4, -1) // min (as u32 all-ones)
+	b.BoundedLoop(asm.R5, n, func(b *asm.Builder) {
+		b.Mov(asm.R0, asm.R5)
+		b.AndImm(asm.R0, n-1)
+		b.LshImm(asm.R0, 2)
+		b.Add(asm.R0, asm.R7)
+		b.Load(asm.R1, asm.R0, int16(n*4), 4)
+		b.Jmp(asm.JGE, asm.R1, asm.R4, "skip_min")
+		b.Mov(asm.R4, asm.R1)
+		b.Mov(asm.R8, asm.R5)
+		b.Label("skip_min")
+	})
+	b.AndImm(asm.R8, n-1)
+	b.LshImm(asm.R8, 2)
+	b.Add(asm.R8, asm.R7)
+	b.Store(asm.R8, 0, asm.R9, 4) // fingerprint
+	b.Mov32(asm.R4, asm.R4)
+	b.AddImm(asm.R4, 1)
+	b.Store(asm.R8, int16(n*4), asm.R4, 4) // count = min+1
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
+	b.Exit()
+	return b
+}

@@ -1,0 +1,393 @@
+package timewheel
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/listbuckets"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+)
+
+// CascadeBatch bounds how many level-2 elements cascade into level 1
+// per tick — the bounded-loop idiom verified code must use. Leftovers
+// cascade on the wheel's next revolution.
+const CascadeBatch = 16
+
+// Two-level wheel: deadlines within Slots ticks go to level 1
+// (granularity 1); deadlines within Slots^2 go to level 2 (granularity
+// Slots) and cascade into level 1 when their super-slot expires, as in
+// the hierarchical timing wheels of [75] that Carousel builds on.
+
+func newTwoLevel(flavor nf.Flavor, cfg Config) (*Wheel, error) {
+	w := &Wheel{cfg: cfg}
+	switch flavor {
+	case nf.Kernel:
+		w.lb = listbuckets.New(cfg.Slots, ElemSize, 1024)
+		w.lb2 = listbuckets.New(cfg.Slots, ElemSize, 1024)
+		w.Instance = &nf.NativeInstance{NFName: "timewheel2", Fn: w.processNative2}
+		return w, nil
+	case nf.EBPF:
+		machine := vm.New()
+		w.machine = machine
+		// One array holds both wheels: level 1 in [0,Slots), level 2 in
+		// [Slots, 2*Slots). Elements: [lock u32, pad u32, head 16B].
+		buckets := maps.NewArray(8+vm.ListHeadSize, 2*cfg.Slots)
+		bFD := machine.RegisterMap(buckets)
+		w.state = maps.NewArray(8, 1)
+		sFD := machine.RegisterMap(w.state)
+		b := buildEBPF2(bFD, sFD, cfg)
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("timewheel2: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "timewheel2", ins,
+			verifier.Options{CtxSize: nf.PktSize, ListNodeSize: ElemSize, StateBudget: 1 << 21})
+		if err != nil {
+			return nil, err
+		}
+		w.Instance = nf.NewVMInstance("timewheel2", flavor, machine, p)
+		return w, nil
+	case nf.ENetSTL:
+		machine := vm.New()
+		w.machine = machine
+		lib := core.Attach(machine, core.Config{})
+		w.lib = lib
+		// State: [clk u64, handle1 u64, handle2 u64].
+		w.state = maps.NewArray(24, 1)
+		sFD := machine.RegisterMap(w.state)
+		w.handle = lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024)
+		h2 := lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024)
+		binary.LittleEndian.PutUint64(w.state.Data()[8:], w.handle)
+		binary.LittleEndian.PutUint64(w.state.Data()[16:], h2)
+		b := buildENetSTL2(sFD, cfg)
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("timewheel2: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "timewheel2", ins,
+			verifier.Options{CtxSize: nf.PktSize, StateBudget: 1 << 21})
+		if err != nil {
+			return nil, err
+		}
+		w.Instance = nf.NewVMInstance("timewheel2", flavor, machine, p)
+		return w, nil
+	}
+	return nil, fmt.Errorf("timewheel2: unknown flavor %v", flavor)
+}
+
+// level2Index returns the super-slot of ts.
+func level2Index(ts uint64, slots int) int {
+	return int(ts/uint64(slots)) & (slots - 1)
+}
+
+// processNative2 is the kernel flavour of the two-level wheel.
+func (w *Wheel) processNative2(pkt []byte) uint64 {
+	slots := uint64(w.cfg.Slots)
+	mask := slots - 1
+	op := binary.LittleEndian.Uint32(pkt[nf.OffOp:])
+	if op == nf.OpEnqueue {
+		ts := binary.LittleEndian.Uint64(pkt[nf.OffTS:])
+		if ts < w.clk {
+			ts = w.clk
+		}
+		if ts-w.clk >= slots*slots {
+			ts = w.clk + slots*slots - 1
+		}
+		var elem [ElemSize]byte
+		binary.LittleEndian.PutUint64(elem[0:], ts)
+		copy(elem[8:], pkt[nf.OffKey:nf.OffKey+8])
+		if ts-w.clk < slots {
+			w.lb.PushBack(int(ts&mask), elem[:])
+		} else {
+			w.lb2.PushBack(level2Index(ts, w.cfg.Slots), elem[:])
+		}
+		return vm.XDPPass
+	}
+	// Cascade at super-slot boundaries.
+	if w.clk&mask == 0 {
+		idx2 := level2Index(w.clk, w.cfg.Slots)
+		var elem [ElemSize]byte
+		for i := 0; i < CascadeBatch; i++ {
+			if !w.lb2.PopFront(idx2, elem[:]) {
+				break
+			}
+			ts := binary.LittleEndian.Uint64(elem[0:])
+			if ts-w.clk < slots {
+				w.lb.PushBack(int(ts&mask), elem[:])
+			} else {
+				// A future revolution: park it again.
+				w.lb2.PushBack(idx2, elem[:])
+			}
+		}
+	}
+	idx := int(w.clk & mask)
+	drained := 0
+	var out [ElemSize]byte
+	for i := 0; i < DrainBatch; i++ {
+		if !w.lb.PopFront(idx, out[:]) {
+			break
+		}
+		drained++
+	}
+	w.clk++
+	return DrainBase + uint64(drained)
+}
+
+// buildEBPF2 emits the two-level wheel over BPF linked lists.
+func buildEBPF2(bFD, sFD int32, cfg Config) *asm.Builder {
+	mask := int32(cfg.Slots - 1)
+	shift := int32(log2(cfg.Slots))
+	b := asm.New()
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, sFD, 0, -4, "st")
+	b.Mov(asm.R8, asm.R0)
+	b.Load(asm.R9, asm.R8, 0, 8) // clk
+	b.Load(asm.R0, asm.R6, nf.OffOp, 4)
+	b.JmpImm(asm.JNE, asm.R0, nf.OpEnqueue, "dequeue")
+
+	// --- Enqueue: pick a wheel by deadline distance ---
+	b.Load(asm.R7, asm.R6, nf.OffTS, 8)
+	b.Jmp(asm.JGE, asm.R7, asm.R9, "ts_ok")
+	b.Mov(asm.R7, asm.R9)
+	b.Label("ts_ok")
+	// Clamp the horizon: delta >= Slots^2 -> clk + Slots^2 - 1.
+	b.Mov(asm.R0, asm.R7)
+	b.Sub(asm.R0, asm.R9)
+	b.JmpImm(asm.JLT, asm.R0, int32(cfg.Slots*cfg.Slots), "horizon_ok")
+	b.Mov(asm.R7, asm.R9)
+	b.AddImm(asm.R7, int32(cfg.Slots*cfg.Slots-1))
+	b.Label("horizon_ok")
+	// Level select: delta < Slots -> level 1 index ts&mask, else level
+	// 2 index Slots + ((ts>>shift)&mask).
+	b.Mov(asm.R0, asm.R7)
+	b.Sub(asm.R0, asm.R9)
+	b.Store(asm.R10, -16, asm.R7, 8) // ts for the payload
+	b.JmpImm(asm.JGE, asm.R0, int32(cfg.Slots), "lvl2")
+	b.AndImm(asm.R7, mask)
+	b.Ja("have_idx")
+	b.Label("lvl2")
+	b.RshImm(asm.R7, shift)
+	b.AndImm(asm.R7, mask)
+	b.AddImm(asm.R7, int32(cfg.Slots))
+	b.Label("have_idx")
+	nfasm.EmitMapLookupOrExit(b, bFD, asm.R7, -4, "bkt")
+	b.Mov(asm.R7, asm.R0)
+	b.MovImm(asm.R1, ElemSize)
+	b.Call(vm.HelperObjNew)
+	b.JmpImm(asm.JNE, asm.R0, 0, "alloc_ok")
+	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.Exit()
+	b.Label("alloc_ok")
+	b.Mov(asm.R8, asm.R0)
+	b.Load(asm.R1, asm.R10, -16, 8)
+	b.Store(asm.R8, vm.NodeHeaderSize, asm.R1, 8)
+	b.Load(asm.R1, asm.R6, nf.OffKey, 8)
+	b.Store(asm.R8, vm.NodeHeaderSize+8, asm.R1, 8)
+	b.Mov(asm.R1, asm.R7)
+	b.Call(vm.HelperSpinLock)
+	b.Mov(asm.R1, asm.R7).AddImm(asm.R1, 8)
+	b.Mov(asm.R2, asm.R8)
+	b.Call(vm.HelperListPushBack)
+	b.Mov(asm.R1, asm.R7)
+	b.Call(vm.HelperSpinUnlock)
+	b.MovImm(asm.R0, int32(vm.XDPPass))
+	b.Exit()
+
+	// --- Dequeue ---
+	b.Label("dequeue")
+	// Cascade when clk & mask == 0.
+	b.Mov(asm.R0, asm.R9).AndImm(asm.R0, mask)
+	b.JmpImm(asm.JNE, asm.R0, 0, "no_cascade")
+	// idx2 = Slots + ((clk>>shift)&mask), stashed on the stack.
+	b.Mov(asm.R0, asm.R9).RshImm(asm.R0, shift).AndImm(asm.R0, mask).AddImm(asm.R0, int32(cfg.Slots))
+	b.Store(asm.R10, -8, asm.R0, 4)
+	for i := 0; i < CascadeBatch; i++ {
+		// Pop one element from the level-2 bucket.
+		b.Load(asm.R7, asm.R10, -8, 4)
+		nfasm.EmitMapLookupOrExit(b, bFD, asm.R7, -4, fmt.Sprintf("c2_%d", i))
+		b.Mov(asm.R7, asm.R0)
+		b.Mov(asm.R1, asm.R7)
+		b.Call(vm.HelperSpinLock)
+		b.Mov(asm.R1, asm.R7).AddImm(asm.R1, 8)
+		b.Call(vm.HelperListPopFront)
+		b.Mov(asm.R9, asm.R0) // node (or 0)
+		b.Mov(asm.R1, asm.R7)
+		b.Call(vm.HelperSpinUnlock)
+		b.JmpImm(asm.JEQ, asm.R9, 0, "no_cascade")
+		// Route by the element's deadline: same revolution -> level 1
+		// slot ts&mask; a future revolution parks back in level 2.
+		b.Load(asm.R7, asm.R9, vm.NodeHeaderSize, 8)
+		b.Load(asm.R0, asm.R8, 0, 8) // clk
+		b.Mov(asm.R1, asm.R7)
+		b.Sub(asm.R1, asm.R0)
+		b.AndImm(asm.R7, mask)
+		b.JmpImm(asm.JLT, asm.R1, int32(cfg.Slots), fmt.Sprintf("route1_%d", i))
+		b.Load(asm.R7, asm.R10, -8, 4) // back into the level-2 bucket
+		b.Label(fmt.Sprintf("route1_%d", i))
+		// Bucket lookup; a (statically possible) miss must release the
+		// popped node before exiting, or the verifier rejects the leak.
+		b.Store(asm.R10, -4, asm.R7, 4)
+		b.LoadMap(asm.R1, bFD)
+		b.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+		b.Call(vm.HelperMapLookup)
+		b.JmpImm(asm.JNE, asm.R0, 0, fmt.Sprintf("c1ok_%d", i))
+		b.Mov(asm.R1, asm.R9)
+		b.Call(vm.HelperObjDrop)
+		b.MovImm(asm.R0, int32(vm.XDPAborted))
+		b.Exit()
+		b.Label(fmt.Sprintf("c1ok_%d", i))
+		b.Mov(asm.R7, asm.R0)
+		b.Mov(asm.R1, asm.R7)
+		b.Call(vm.HelperSpinLock)
+		b.Mov(asm.R1, asm.R7).AddImm(asm.R1, 8)
+		b.Mov(asm.R2, asm.R9)
+		b.Call(vm.HelperListPushBack)
+		b.MovImm(asm.R9, 0)
+		b.Mov(asm.R1, asm.R7)
+		b.Call(vm.HelperSpinUnlock)
+	}
+	b.Label("no_cascade")
+	// Reload clk (R9 was clobbered by the cascade).
+	nfasm.EmitMapLookupConstOrExit(b, sFD, 0, -4, "st2")
+	b.Mov(asm.R8, asm.R0)
+	b.Load(asm.R9, asm.R8, 0, 8)
+	b.Mov(asm.R7, asm.R9).AndImm(asm.R7, mask)
+	nfasm.EmitMapLookupOrExit(b, bFD, asm.R7, -4, "dq")
+	b.Mov(asm.R7, asm.R0)
+	b.MovImm(asm.R9, 0)
+	b.Mov(asm.R1, asm.R7)
+	b.Call(vm.HelperSpinLock)
+	for i := 0; i < DrainBatch; i++ {
+		b.Mov(asm.R1, asm.R7).AddImm(asm.R1, 8)
+		b.Call(vm.HelperListPopFront)
+		b.JmpImm(asm.JEQ, asm.R0, 0, "drained")
+		b.Mov(asm.R1, asm.R0)
+		b.Call(vm.HelperObjDrop)
+		b.AddImm(asm.R9, 1)
+	}
+	b.Label("drained")
+	b.Mov(asm.R1, asm.R7)
+	b.Call(vm.HelperSpinUnlock)
+	b.Load(asm.R1, asm.R8, 0, 8)
+	b.AddImm(asm.R1, 1)
+	b.Store(asm.R8, 0, asm.R1, 8)
+	b.Mov(asm.R0, asm.R9)
+	b.AddImm(asm.R0, DrainBase)
+	b.Exit()
+	return b
+}
+
+// buildENetSTL2 emits the two-level wheel over list-buckets.
+func buildENetSTL2(sFD int32, cfg Config) *asm.Builder {
+	mask := int32(cfg.Slots - 1)
+	shift := int32(log2(cfg.Slots))
+	b := asm.New()
+	b.Mov(asm.R6, asm.R1)
+	nfasm.EmitMapLookupConstOrExit(b, sFD, 0, -4, "st")
+	b.Mov(asm.R8, asm.R0)
+	b.Load(asm.R9, asm.R8, 0, 8) // clk
+	b.Load(asm.R0, asm.R6, nf.OffOp, 4)
+	b.JmpImm(asm.JNE, asm.R0, nf.OpEnqueue, "dequeue")
+
+	// --- Enqueue ---
+	b.Load(asm.R2, asm.R6, nf.OffTS, 8)
+	b.Jmp(asm.JGE, asm.R2, asm.R9, "ts_ok")
+	b.Mov(asm.R2, asm.R9)
+	b.Label("ts_ok")
+	b.Mov(asm.R0, asm.R2)
+	b.Sub(asm.R0, asm.R9)
+	b.JmpImm(asm.JLT, asm.R0, int32(cfg.Slots*cfg.Slots), "horizon_ok")
+	b.Mov(asm.R2, asm.R9)
+	b.AddImm(asm.R2, int32(cfg.Slots*cfg.Slots-1))
+	b.Label("horizon_ok")
+	// Payload on the stack.
+	b.Store(asm.R10, -24, asm.R2, 8)
+	b.Load(asm.R1, asm.R6, nf.OffKey, 8)
+	b.Store(asm.R10, -16, asm.R1, 8)
+	// Wheel select: handle offset 8 (L1) or 16 (L2) plus index.
+	b.Mov(asm.R0, asm.R2)
+	b.Sub(asm.R0, asm.R9)
+	b.JmpImm(asm.JGE, asm.R0, int32(cfg.Slots), "lvl2")
+	nfasm.EmitLoadHandleOrExit(b, asm.R8, 8, asm.R7, "h1")
+	b.AndImm(asm.R2, mask)
+	b.Ja("insert")
+	b.Label("lvl2")
+	nfasm.EmitLoadHandleOrExit(b, asm.R8, 16, asm.R7, "h2")
+	b.RshImm(asm.R2, shift)
+	b.AndImm(asm.R2, mask)
+	b.Label("insert")
+	b.Mov(asm.R1, asm.R7)
+	b.Mov(asm.R3, asm.R10).AddImm(asm.R3, -24)
+	b.MovImm(asm.R4, ElemSize)
+	b.Kfunc(core.KfBktPushBack)
+	b.MovImm(asm.R0, int32(vm.XDPPass))
+	b.Exit()
+
+	// --- Dequeue ---
+	b.Label("dequeue")
+	b.Mov(asm.R0, asm.R9).AndImm(asm.R0, mask)
+	b.JmpImm(asm.JNE, asm.R0, 0, "no_cascade")
+	for i := 0; i < CascadeBatch; i++ {
+		// Pop from L2's super-slot of clk.
+		nfasm.EmitLoadHandleOrExit(b, asm.R8, 16, asm.R1, fmt.Sprintf("c2_%d", i))
+		b.Mov(asm.R2, asm.R9).RshImm(asm.R2, shift).AndImm(asm.R2, mask)
+		b.Mov(asm.R3, asm.R10).AddImm(asm.R3, -24)
+		b.MovImm(asm.R4, ElemSize)
+		b.Kfunc(core.KfBktPopFront)
+		b.JmpImm(asm.JEQ, asm.R0, 0, "no_cascade")
+		// Route: same revolution -> L1 by deadline; otherwise park back
+		// in L2.
+		b.Load(asm.R2, asm.R10, -24, 8) // ts
+		b.Mov(asm.R0, asm.R2)
+		b.Sub(asm.R0, asm.R9)
+		b.JmpImm(asm.JGE, asm.R0, int32(cfg.Slots), fmt.Sprintf("repark_%d", i))
+		nfasm.EmitLoadHandleOrExit(b, asm.R8, 8, asm.R1, fmt.Sprintf("c1_%d", i))
+		b.Load(asm.R2, asm.R10, -24, 8)
+		b.AndImm(asm.R2, mask)
+		b.Ja(fmt.Sprintf("cins_%d", i))
+		b.Label(fmt.Sprintf("repark_%d", i))
+		nfasm.EmitLoadHandleOrExit(b, asm.R8, 16, asm.R1, fmt.Sprintf("cr_%d", i))
+		b.Load(asm.R2, asm.R10, -24, 8)
+		b.RshImm(asm.R2, shift)
+		b.AndImm(asm.R2, mask)
+		b.Label(fmt.Sprintf("cins_%d", i))
+		b.Mov(asm.R3, asm.R10).AddImm(asm.R3, -24)
+		b.MovImm(asm.R4, ElemSize)
+		b.Kfunc(core.KfBktPushBack)
+	}
+	b.Label("no_cascade")
+	b.Mov(asm.R7, asm.R9).AndImm(asm.R7, mask) // L1 index
+	b.MovImm(asm.R9, 0)                        // drained
+	for i := 0; i < DrainBatch; i++ {
+		nfasm.EmitLoadHandleOrExit(b, asm.R8, 8, asm.R1, fmt.Sprintf("d_%d", i))
+		b.Mov(asm.R2, asm.R7)
+		b.Mov(asm.R3, asm.R10).AddImm(asm.R3, -24)
+		b.MovImm(asm.R4, ElemSize)
+		b.Kfunc(core.KfBktPopFront)
+		b.JmpImm(asm.JEQ, asm.R0, 0, "drained")
+		b.AddImm(asm.R9, 1)
+	}
+	b.Label("drained")
+	b.Load(asm.R1, asm.R8, 0, 8)
+	b.AddImm(asm.R1, 1)
+	b.Store(asm.R8, 0, asm.R1, 8)
+	b.Mov(asm.R0, asm.R9)
+	b.AddImm(asm.R0, DrainBase)
+	b.Exit()
+	return b
+}
+
+func log2(x int) int {
+	n := 0
+	for x > 1 {
+		x >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,114 @@
+package timewheel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"enetstl/internal/nf"
+)
+
+func cfg2(slots int) Config { return Config{Slots: slots, Levels: 2} }
+
+func TestTwoLevelFarDeadlinesAllFlavors(t *testing.T) {
+	// Slots=16: level 1 covers 16 ticks, level 2 covers 256. A packet
+	// at t=40 must cascade out of level 2 and drain exactly at tick 40.
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		w, err := New(flavor, cfg2(16))
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		enq(t, w, 3, 100)  // level 1
+		enq(t, w, 40, 101) // level 2
+		enq(t, w, 41, 102) // level 2, same super-slot
+		for tick := 0; tick < 48; tick++ {
+			got := deq(t, w)
+			want := 0
+			switch tick {
+			case 3, 40, 41:
+				want = 1
+			}
+			if got != want {
+				t.Fatalf("%v: tick %d drained %d, want %d", flavor, tick, got, want)
+			}
+		}
+	}
+}
+
+func TestTwoLevelFlavorsAgree(t *testing.T) {
+	k, err := New(nf.Kernel, cfg2(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(nf.EBPF, cfg2(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(nf.ENetSTL, cfg2(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spread of deadlines including horizon clamping.
+	deadlines := []uint64{0, 1, 15, 16, 17, 100, 200, 255, 300, 1000}
+	for i, ts := range deadlines {
+		for _, w := range []*Wheel{k, e, s} {
+			enq(t, w, ts, uint64(i))
+		}
+	}
+	for tick := 0; tick < 300; tick++ {
+		a, b, c := deq(t, k), deq(t, e), deq(t, s)
+		if a != b || a != c {
+			t.Fatalf("tick %d: drained kernel=%d ebpf=%d enetstl=%d", tick, a, b, c)
+		}
+	}
+}
+
+func TestTwoLevelHorizonClamped(t *testing.T) {
+	// Deadlines beyond Slots^2 are clamped to the horizon, not lost.
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		w, err := New(flavor, cfg2(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		enq(t, w, 1<<30, 7) // clamped to 63
+		total := 0
+		for tick := 0; tick < 64; tick++ {
+			total += deq(t, w)
+		}
+		if total != 1 {
+			t.Fatalf("%v: clamped packet drained %d times", flavor, total)
+		}
+	}
+}
+
+func TestTwoLevelConservation(t *testing.T) {
+	// Everything enqueued is eventually drained exactly once.
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		w, err := New(flavor, cfg2(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 200
+		pkt := make([]byte, nf.PktSize)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(pkt[nf.OffKey:], uint64(i))
+			binary.LittleEndian.PutUint32(pkt[nf.OffOp:], nf.OpEnqueue)
+			binary.LittleEndian.PutUint64(pkt[nf.OffTS:], uint64(i*7)%250)
+			if _, err := w.Process(pkt); err != nil {
+				t.Fatalf("%v: %v", flavor, err)
+			}
+		}
+		total := 0
+		for tick := 0; tick < 600 && total < n; tick++ {
+			total += deq(t, w)
+		}
+		if total != n {
+			t.Fatalf("%v: drained %d of %d", flavor, total, n)
+		}
+	}
+}
+
+func TestLevelsValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Slots: 16, Levels: 3}); err == nil {
+		t.Fatal("levels=3 accepted")
+	}
+}

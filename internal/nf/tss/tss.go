@@ -1,0 +1,196 @@
+// Package tss implements Tuple Space Search packet classification
+// ([68]): one exact-match hash table per tuple space (mask), probed
+// sequentially; the highest-priority matching rule wins. Per packet the
+// datapath masks the key and hashes it once per space — the dominant
+// cost the paper optimizes with hardware hashing.
+//
+//   - Kernel: native Go.
+//   - EBPF: bytecode; one software hash per tuple space.
+//   - ENetSTL: bytecode; one kf_hash_fast64 per tuple space.
+//
+// All flavours compute the identical function; rules inserted by the
+// control plane are shared. Space t masks the low t bytes of the key
+// (a prefix-length ladder).
+package tss
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"enetstl/internal/core"
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/verifier"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/nfasm"
+	"enetstl/internal/nhash"
+)
+
+// Entry layout: sig u32, prio u32, action u32, pad u32.
+const entrySize = 16
+
+// Config sizes the classifier.
+type Config struct {
+	Spaces int // number of tuple spaces
+	Slots  int // hash slots per space, power of two
+}
+
+func (c Config) validate() error {
+	if c.Spaces <= 0 || c.Spaces > 16 {
+		return fmt.Errorf("tss: spaces %d out of range [1,16]", c.Spaces)
+	}
+	if c.Slots <= 0 || c.Slots&(c.Slots-1) != 0 {
+		return fmt.Errorf("tss: slots %d must be a power of two", c.Slots)
+	}
+	return nil
+}
+
+// TSS is one built instance.
+type TSS struct {
+	nf.Instance
+	cfg   Config
+	table []byte // spaces*slots entries
+	arr   *maps.Array
+}
+
+// maskFor returns the two 8-byte mask words of tuple space t: the low
+// 16-t bytes of the key are significant.
+func maskFor(t int) (uint64, uint64) {
+	keep := 16 - t
+	var m [16]byte
+	for i := 0; i < keep && i < 16; i++ {
+		m[i] = 0xff
+	}
+	return binary.LittleEndian.Uint64(m[0:]), binary.LittleEndian.Uint64(m[8:])
+}
+
+// New builds the NF in the requested flavour.
+func New(flavor nf.Flavor, cfg Config) (*TSS, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &TSS{cfg: cfg, table: make([]byte, cfg.Spaces*cfg.Slots*entrySize)}
+	switch flavor {
+	case nf.Kernel:
+		c.Instance = &nf.NativeInstance{NFName: "tss", Fn: func(pkt []byte) uint64 {
+			return c.Classify(pkt[nf.OffKey : nf.OffKey+nf.KeyLen])
+		}}
+		return c, nil
+	case nf.EBPF, nf.ENetSTL:
+		machine := vm.New()
+		c.arr = maps.NewArray(entrySize, cfg.Spaces*cfg.Slots)
+		fd := machine.RegisterMap(c.arr)
+		if flavor == nf.ENetSTL {
+			core.Attach(machine, core.Config{})
+		}
+		b := buildProgram(fd, cfg, flavor == nf.ENetSTL)
+		ins, err := b.Program()
+		if err != nil {
+			return nil, fmt.Errorf("tss: assemble: %w", err)
+		}
+		p, err := verifier.LoadAndVerify(machine, "tss", ins, verifier.Options{CtxSize: nf.PktSize})
+		if err != nil {
+			return nil, err
+		}
+		c.Instance = nf.NewVMInstance("tss", flavor, machine, p)
+		return c, nil
+	}
+	return nil, fmt.Errorf("tss: unknown flavor %v", flavor)
+}
+
+func sigSlot(key []byte, space, slots int) (sig uint32, slot int) {
+	m0, m1 := maskFor(space)
+	var mk [16]byte
+	binary.LittleEndian.PutUint64(mk[0:], binary.LittleEndian.Uint64(key[0:])&m0)
+	binary.LittleEndian.PutUint64(mk[8:], binary.LittleEndian.Uint64(key[8:])&m1)
+	h := nhash.FastHash64(mk[:], uint64(space+1))
+	sig = (uint32(h) ^ uint32(h>>32)) | 1
+	slot = int(h) & (slots - 1)
+	return sig, slot
+}
+
+// Insert adds a rule to tuple space t with the given priority and
+// action (control plane, shared across flavours). A colliding slot is
+// overwritten.
+func (c *TSS) Insert(key []byte, space int, prio, action uint32) {
+	sig, slot := sigSlot(key, space, c.cfg.Slots)
+	off := (space*c.cfg.Slots + slot) * entrySize
+	binary.LittleEndian.PutUint32(c.table[off:], sig)
+	binary.LittleEndian.PutUint32(c.table[off+4:], prio)
+	binary.LittleEndian.PutUint32(c.table[off+8:], action)
+	if c.arr != nil {
+		copy(c.arr.Data()[off:off+entrySize], c.table[off:off+entrySize])
+	}
+}
+
+// Classify returns (prio<<32)|action of the best match, or 0.
+func (c *TSS) Classify(key []byte) uint64 {
+	var best uint64
+	for t := 0; t < c.cfg.Spaces; t++ {
+		sig, slot := sigSlot(key, t, c.cfg.Slots)
+		off := (t*c.cfg.Slots + slot) * entrySize
+		if binary.LittleEndian.Uint32(c.table[off:]) != sig {
+			continue
+		}
+		packed := uint64(binary.LittleEndian.Uint32(c.table[off+4:]))<<32 |
+			uint64(binary.LittleEndian.Uint32(c.table[off+8:]))
+		if packed > best {
+			best = packed
+		}
+	}
+	return best
+}
+
+func buildProgram(fd int32, cfg Config, enetstl bool) *asm.Builder {
+	b := asm.New()
+	smask := int32(cfg.Slots - 1)
+	b.Mov(asm.R6, asm.R1)
+	b.MovImm(asm.R9, 0) // best (prio<<32 | action)
+	for t := 0; t < cfg.Spaces; t++ {
+		skip := fmt.Sprintf("skip_%d", t)
+		m0, m1 := maskFor(t)
+		// Masked key onto the stack.
+		b.Load(asm.R1, asm.R6, 0, 8)
+		b.LoadImm64(asm.R2, m0)
+		b.And(asm.R1, asm.R2)
+		b.Store(asm.R10, -16, asm.R1, 8)
+		b.Load(asm.R1, asm.R6, 8, 8)
+		b.LoadImm64(asm.R2, m1)
+		b.And(asm.R1, asm.R2)
+		b.Store(asm.R10, -8, asm.R1, 8)
+		// h of the masked key.
+		if enetstl {
+			b.Mov(asm.R1, asm.R10).AddImm(asm.R1, -16)
+			b.MovImm(asm.R2, 16)
+			b.MovImm(asm.R3, int32(t+1))
+			b.Kfunc(core.KfHashFast64)
+			b.Mov(asm.R8, asm.R0)
+		} else {
+			nfasm.EmitFastHash64(b, asm.R10, -16, 16, uint64(t+1),
+				asm.R8, asm.R0, asm.R1, asm.R2, asm.R3)
+		}
+		// sig = fold32(h) | 1 stashed; slot from low bits.
+		b.Mov(asm.R0, asm.R8)
+		nfasm.EmitFold32(b, asm.R0, asm.R1)
+		b.OrImm(asm.R0, 1)
+		b.Store(asm.R10, -24, asm.R0, 4)
+		b.Mov(asm.R7, asm.R8)
+		b.AndImm(asm.R7, smask)
+		b.AddImm(asm.R7, int32(t*cfg.Slots))
+		nfasm.EmitMapLookupOrExit(b, fd, asm.R7, -4, fmt.Sprintf("sp%d", t))
+		b.Load(asm.R1, asm.R0, 0, 4) // entry sig
+		b.Load(asm.R2, asm.R10, -24, 4)
+		b.Jmp(asm.JNE, asm.R1, asm.R2, skip)
+		b.Load(asm.R3, asm.R0, 4, 4) // prio
+		b.LshImm(asm.R3, 32)
+		b.Load(asm.R4, asm.R0, 8, 4) // action
+		b.Or(asm.R3, asm.R4)
+		b.Jmp(asm.JLE, asm.R3, asm.R9, skip)
+		b.Mov(asm.R9, asm.R3)
+		b.Label(skip)
+	}
+	b.Mov(asm.R0, asm.R9)
+	b.Exit()
+	return b
+}

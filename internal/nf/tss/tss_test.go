@@ -1,0 +1,96 @@
+package tss
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var cfg = Config{Spaces: 8, Slots: 256}
+
+func TestHighestPriorityWinsAllFlavors(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 50, Packets: 0, Seed: 71})
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		c, err := New(flavor, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		key := trace.FlowKeys[0][:]
+		// Exact rule in space 0 (prio 10) and a coarser rule in space 4
+		// (prio 30): the coarser, higher-priority rule must win.
+		c.Insert(key, 0, 10, 111)
+		c.Insert(key, 4, 30, 222)
+		var pkt [nf.PktSize]byte
+		copy(pkt[:], key)
+		got, err := c.Process(pkt[:])
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		if got != uint64(30)<<32|222 {
+			t.Fatalf("%v: got %#x, want prio 30 action 222", flavor, got)
+		}
+	}
+}
+
+func TestCoarseSpaceAggregatesFlows(t *testing.T) {
+	// Space 8 masks the last 8 key bytes; flows sharing the first 8
+	// bytes must hit the same rule.
+	c, _ := New(nf.Kernel, Config{Spaces: 10, Slots: 256})
+	var a, b [16]byte
+	copy(a[:], "prefixAAsuffix01")
+	copy(b[:], "prefixAAsuffix02")
+	c.Insert(a[:], 8, 5, 99)
+	if got := c.Classify(b[:]); got != uint64(5)<<32|99 {
+		t.Fatalf("aggregated flow missed: %#x", got)
+	}
+}
+
+func TestNoMatchReturnsZero(t *testing.T) {
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		c, err := New(flavor, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkt := make([]byte, nf.PktSize)
+		pkt[0] = 0x55
+		got, err := c.Process(pkt)
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		if got != 0 {
+			t.Fatalf("%v: empty classifier matched: %#x", flavor, got)
+		}
+	}
+}
+
+func TestFlavorsAgreeOnRuleSet(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 300, Packets: 0, Seed: 72})
+	k, _ := New(nf.Kernel, cfg)
+	e, _ := New(nf.EBPF, cfg)
+	s, _ := New(nf.ENetSTL, cfg)
+	for i := 0; i < 100; i++ {
+		for _, c := range []*TSS{k, e, s} {
+			c.Insert(trace.FlowKeys[i][:], i%cfg.Spaces, uint32(i%7+1), uint32(1000+i))
+		}
+	}
+	var pkt [nf.PktSize]byte
+	for i := 0; i < 300; i++ {
+		copy(pkt[:], trace.FlowKeys[i][:])
+		a, _ := k.Process(pkt[:])
+		b, _ := e.Process(pkt[:])
+		c, _ := s.Process(pkt[:])
+		if a != b || a != c {
+			t.Fatalf("flow %d: diverge %#x %#x %#x", i, a, b, c)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Spaces: 0, Slots: 64}); err == nil {
+		t.Fatal("bad spaces accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Spaces: 4, Slots: 63}); err == nil {
+		t.Fatal("bad slots accepted")
+	}
+}

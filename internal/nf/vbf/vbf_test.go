@@ -1,0 +1,92 @@
+package vbf
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+var cfg = Config{Bits: 4096, Hashes: 4}
+
+func TestMembershipAllFlavors(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 300, Packets: 0, Seed: 61})
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		v, err := New(flavor, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", flavor, err)
+		}
+		// Flows 0-99 in set 3, flows 100-199 in set 7.
+		for i := 0; i < 100; i++ {
+			v.Insert(trace.FlowKeys[i][:], 3)
+		}
+		for i := 100; i < 200; i++ {
+			v.Insert(trace.FlowKeys[i][:], 7)
+		}
+		var pkt [nf.PktSize]byte
+		for i := 0; i < 200; i++ {
+			copy(pkt[:], trace.FlowKeys[i][:])
+			got, err := v.Process(pkt[:])
+			if err != nil {
+				t.Fatalf("%v flow %d: %v", flavor, i, err)
+			}
+			mask := uint32(got - MatchBase)
+			wantBit := uint32(1) << 3
+			if i >= 100 {
+				wantBit = 1 << 7
+			}
+			if mask&wantBit == 0 {
+				t.Fatalf("%v: flow %d missing from its set (mask %#x)", flavor, i, mask)
+			}
+		}
+	}
+}
+
+func TestFlavorsAgreeExactly(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 400, Packets: 0, Seed: 62})
+	k, _ := New(nf.Kernel, cfg)
+	e, _ := New(nf.EBPF, cfg)
+	s, _ := New(nf.ENetSTL, cfg)
+	for i := 0; i < 150; i++ {
+		for _, v := range []*VBF{k, e, s} {
+			v.Insert(trace.FlowKeys[i][:], i%32)
+		}
+	}
+	var pkt [nf.PktSize]byte
+	for i := 0; i < 400; i++ {
+		copy(pkt[:], trace.FlowKeys[i][:])
+		a, _ := k.Process(pkt[:])
+		b, _ := e.Process(pkt[:])
+		c, _ := s.Process(pkt[:])
+		if a != b || a != c {
+			t.Fatalf("flow %d: masks diverge %#x %#x %#x", i, a, b, c)
+		}
+	}
+}
+
+func TestFalsePositivesBounded(t *testing.T) {
+	v, _ := New(nf.Kernel, Config{Bits: 8192, Hashes: 4})
+	trace := pktgen.Generate(pktgen.Config{Flows: 1200, Packets: 0, Seed: 63})
+	for i := 0; i < 200; i++ {
+		v.Insert(trace.FlowKeys[i][:], 0)
+	}
+	fp := 0
+	for i := 200; i < 1200; i++ {
+		if v.Query(trace.FlowKeys[i][:])&1 != 0 {
+			fp++
+		}
+	}
+	// ~200 keys in 8192 words, 4 hashes: fp rate well under 1%.
+	if fp > 10 {
+		t.Fatalf("false positives: %d / 1000", fp)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nf.Kernel, Config{Bits: 100, Hashes: 4}); err == nil {
+		t.Fatal("bad bits accepted")
+	}
+	if _, err := New(nf.Kernel, Config{Bits: 128, Hashes: 0}); err == nil {
+		t.Fatal("bad hashes accepted")
+	}
+}

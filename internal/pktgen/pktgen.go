@@ -1,0 +1,118 @@
+// Package pktgen generates the synthetic traffic the benchmark harness
+// replays: 64-byte packets with 5-tuple flow keys, configurable flow
+// popularity (uniform or zipf), and per-NF operation mixes. It stands in
+// for the paper's pktgen-DPDK sender (the substitution is documented in
+// DESIGN.md): single-core NF throughput is CPU-bound, so replaying an
+// in-memory trace exercises the same per-packet work.
+package pktgen
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+
+	"enetstl/internal/nf"
+)
+
+// Packet is one synthetic 64-byte packet.
+type Packet [nf.PktSize]byte
+
+// Config controls trace generation.
+type Config struct {
+	// Flows is the number of distinct flows (5-tuples).
+	Flows int
+	// Packets is the trace length.
+	Packets int
+	// ZipfS > 0 selects a zipf flow popularity with that skew
+	// (typical heavy-tailed traffic uses 1.0-1.3); 0 means uniform.
+	ZipfS float64
+	// Seed makes the trace deterministic.
+	Seed int64
+}
+
+// Trace is a generated packet sequence plus its flow table.
+type Trace struct {
+	Packets []Packet
+	// FlowKeys holds the KeyLen-byte key of each flow.
+	FlowKeys [][nf.KeyLen]byte
+	// FlowOf maps each packet index to its flow index.
+	FlowOf []int32
+}
+
+// flowKey synthesizes a deterministic 5-tuple for flow i: distinct
+// addresses/ports, proto TCP, zero padding to KeyLen.
+func flowKey(i int, rng *rand.Rand) [nf.KeyLen]byte {
+	var k [nf.KeyLen]byte
+	binary.LittleEndian.PutUint32(k[0:], 0x0a000000|uint32(i))           // src IP 10.x
+	binary.LittleEndian.PutUint32(k[4:], 0xac100000|uint32(rng.Int31())) // dst IP
+	binary.LittleEndian.PutUint16(k[8:], uint16(1024+i%60000))           // src port
+	binary.LittleEndian.PutUint16(k[10:], 443)                           // dst port
+	k[12] = 6                                                            // TCP
+	return k
+}
+
+// Generate builds a trace.
+func Generate(cfg Config) *Trace {
+	if cfg.Flows <= 0 {
+		cfg.Flows = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	t := &Trace{
+		Packets:  make([]Packet, cfg.Packets),
+		FlowKeys: make([][nf.KeyLen]byte, cfg.Flows),
+		FlowOf:   make([]int32, cfg.Packets),
+	}
+	for i := range t.FlowKeys {
+		t.FlowKeys[i] = flowKey(i, rng)
+	}
+	var z *rand.Zipf
+	if cfg.ZipfS > 0 {
+		z = rand.NewZipf(rng, math.Max(cfg.ZipfS, 1.001), 1, uint64(cfg.Flows-1))
+	}
+	for i := range t.Packets {
+		var f int
+		if z != nil {
+			f = int(z.Uint64())
+		} else {
+			f = rng.Intn(cfg.Flows)
+		}
+		t.FlowOf[i] = int32(f)
+		copy(t.Packets[i][:], t.FlowKeys[f][:])
+	}
+	return t
+}
+
+// SetOp writes the operation selector of packet p.
+func (p *Packet) SetOp(op uint32) {
+	binary.LittleEndian.PutUint32(p[nf.OffOp:], op)
+}
+
+// SetArg writes the u32 argument field.
+func (p *Packet) SetArg(a uint32) {
+	binary.LittleEndian.PutUint32(p[nf.OffArg:], a)
+}
+
+// SetTS writes the u64 timestamp/deadline field.
+func (p *Packet) SetTS(ts uint64) {
+	binary.LittleEndian.PutUint64(p[nf.OffTS:], ts)
+}
+
+// Key returns the packet's flow key bytes.
+func (p *Packet) Key() []byte { return p[nf.OffKey : nf.OffKey+nf.KeyLen] }
+
+// ApplyOpMix assigns operation codes round-robin-weighted by ratios
+// (e.g. {1,1} alternates two ops), deterministically.
+func (t *Trace) ApplyOpMix(ops []uint32, weights []int) {
+	if len(ops) != len(weights) || len(ops) == 0 {
+		panic("pktgen: ops and weights must align")
+	}
+	var pattern []uint32
+	for i, op := range ops {
+		for j := 0; j < weights[i]; j++ {
+			pattern = append(pattern, op)
+		}
+	}
+	for i := range t.Packets {
+		t.Packets[i].SetOp(pattern[i%len(pattern)])
+	}
+}

@@ -1,0 +1,133 @@
+package pktgen
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"enetstl/internal/nf"
+)
+
+func TestDeterministic(t *testing.T) {
+	a := Generate(Config{Flows: 32, Packets: 500, ZipfS: 1.1, Seed: 9})
+	b := Generate(Config{Flows: 32, Packets: 500, ZipfS: 1.1, Seed: 9})
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs across same-seed runs", i)
+		}
+	}
+	c := Generate(Config{Flows: 32, Packets: 500, ZipfS: 1.1, Seed: 10})
+	same := true
+	for i := range a.Packets {
+		if a.Packets[i] != c.Packets[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestKeysDistinctAndWellFormed(t *testing.T) {
+	tr := Generate(Config{Flows: 2000, Packets: 0, Seed: 1})
+	seen := map[[nf.KeyLen]byte]bool{}
+	for i, k := range tr.FlowKeys {
+		if seen[k] {
+			t.Fatalf("flow %d: duplicate key", i)
+		}
+		seen[k] = true
+		if k[12] != 6 {
+			t.Fatalf("flow %d: proto %d, want TCP", i, k[12])
+		}
+		for j := 13; j < nf.KeyLen; j++ {
+			if k[j] != 0 {
+				t.Fatalf("flow %d: padding byte %d not zero", i, j)
+			}
+		}
+	}
+}
+
+func TestPacketsCarryFlowKey(t *testing.T) {
+	tr := Generate(Config{Flows: 16, Packets: 300, Seed: 2})
+	for i := range tr.Packets {
+		f := tr.FlowOf[i]
+		want := tr.FlowKeys[f]
+		if string(tr.Packets[i][:nf.KeyLen]) != string(want[:]) {
+			t.Fatalf("packet %d key mismatch with flow %d", i, f)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	tr := Generate(Config{Flows: 1000, Packets: 50000, ZipfS: 1.3, Seed: 3})
+	counts := map[int32]int{}
+	for _, f := range tr.FlowOf {
+		counts[f]++
+	}
+	// The most popular flow should dwarf the median.
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 5000 {
+		t.Fatalf("zipf head only %d of 50000", max)
+	}
+	uni := Generate(Config{Flows: 1000, Packets: 50000, Seed: 3})
+	ucounts := map[int32]int{}
+	for _, f := range uni.FlowOf {
+		ucounts[f]++
+	}
+	umax := 0
+	for _, n := range ucounts {
+		if n > umax {
+			umax = n
+		}
+	}
+	if umax > 200 {
+		t.Fatalf("uniform head %d of 50000, too skewed", umax)
+	}
+}
+
+func TestOpMixAlternates(t *testing.T) {
+	tr := Generate(Config{Flows: 4, Packets: 100, Seed: 4})
+	tr.ApplyOpMix([]uint32{7, 9}, []int{1, 1})
+	for i := range tr.Packets {
+		got := binary.LittleEndian.Uint32(tr.Packets[i][nf.OffOp:])
+		want := uint32(7)
+		if i%2 == 1 {
+			want = 9
+		}
+		if got != want {
+			t.Fatalf("packet %d op %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestOpMixWeights(t *testing.T) {
+	tr := Generate(Config{Flows: 4, Packets: 90, Seed: 5})
+	tr.ApplyOpMix([]uint32{1, 2}, []int{2, 1})
+	count := map[uint32]int{}
+	for i := range tr.Packets {
+		count[binary.LittleEndian.Uint32(tr.Packets[i][nf.OffOp:])]++
+	}
+	if count[1] != 60 || count[2] != 30 {
+		t.Fatalf("weighted mix: %v", count)
+	}
+}
+
+func TestFieldSetters(t *testing.T) {
+	var p Packet
+	p.SetOp(0xAABB)
+	p.SetArg(0xCCDD)
+	p.SetTS(0x1122334455667788)
+	if binary.LittleEndian.Uint32(p[nf.OffOp:]) != 0xAABB ||
+		binary.LittleEndian.Uint32(p[nf.OffArg:]) != 0xCCDD ||
+		binary.LittleEndian.Uint64(p[nf.OffTS:]) != 0x1122334455667788 {
+		t.Fatal("field setters broken")
+	}
+	if len(p.Key()) != nf.KeyLen {
+		t.Fatal("key slice wrong")
+	}
+}

@@ -1,0 +1,43 @@
+package rpool
+
+import "testing"
+
+// Component-level random-pool benchmarks (Table 2's random-pool row):
+// pooled draws against computing a fresh tausworthe per call (what the
+// bpf_get_prandom_u32 helper does), plus the geometric pool.
+
+var rsink uint32
+
+func BenchmarkPoolNext(b *testing.B) {
+	p := NewPool(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rsink = p.Next()
+	}
+}
+
+// taus mirrors the kernel's prandom_u32_state cost.
+type taus [4]uint32
+
+func (s *taus) next() uint32 {
+	s[0] = ((s[0] & 0xfffffffe) << 18) ^ (((s[0] << 6) ^ s[0]) >> 13)
+	s[1] = ((s[1] & 0xfffffff8) << 2) ^ (((s[1] << 2) ^ s[1]) >> 27)
+	s[2] = ((s[2] & 0xfffffff0) << 7) ^ (((s[2] << 13) ^ s[2]) >> 21)
+	s[3] = ((s[3] & 0xffffff80) << 13) ^ (((s[3] << 3) ^ s[3]) >> 12)
+	return s[0] ^ s[1] ^ s[2] ^ s[3]
+}
+
+func BenchmarkPerCallTausworthe(b *testing.B) {
+	s := taus{3, 9, 17, 129}
+	for i := 0; i < b.N; i++ {
+		rsink = s.next()
+	}
+}
+
+func BenchmarkGeoPoolNext(b *testing.B) {
+	g := NewGeoPool(4096, 1.0/64, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rsink = g.Next()
+	}
+}

@@ -1,0 +1,212 @@
+// Package simd implements eNetSTL's parallel comparing and reducing
+// algorithms (paper §4.3). The paper wraps AVX2 lane operations behind
+// high-level interfaces (find_simd, min/max reduction) so one call
+// replaces a software scan; here the lanes are unrolled wide compares
+// the Go compiler keeps in registers, standing in for SIMD registers.
+// The package also exposes the deliberately low-level per-instruction
+// interface (Vec32, Load/Mul/Cmp/Store) that Listing 1 warns against,
+// used by the Fig. 6 ablation.
+package simd
+
+// LaneWidth is the number of 32-bit lanes per vector operation (AVX2's
+// 256-bit registers hold 8).
+const LaneWidth = 8
+
+// FindU32 returns the index of the first element of arr equal to key,
+// or -1. It processes 8 lanes per step, mirroring a VPCMPEQD+VPMOVMSKB
+// sequence that loads the input once and returns the index in a
+// register (Listing 1's find_simd).
+func FindU32(arr []uint32, key uint32) int {
+	n := len(arr)
+	i := 0
+	for ; i+LaneWidth <= n; i += LaneWidth {
+		a := arr[i : i+LaneWidth : i+LaneWidth]
+		// One wide compare: the compiler keeps the lane results in
+		// registers; branch once per vector.
+		m := uint32(0)
+		if a[0] == key {
+			m |= 1 << 0
+		}
+		if a[1] == key {
+			m |= 1 << 1
+		}
+		if a[2] == key {
+			m |= 1 << 2
+		}
+		if a[3] == key {
+			m |= 1 << 3
+		}
+		if a[4] == key {
+			m |= 1 << 4
+		}
+		if a[5] == key {
+			m |= 1 << 5
+		}
+		if a[6] == key {
+			m |= 1 << 6
+		}
+		if a[7] == key {
+			m |= 1 << 7
+		}
+		if m != 0 {
+			return i + tz32(m)
+		}
+	}
+	for ; i < n; i++ {
+		if arr[i] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindU16 is FindU32 for 16-bit lanes (fingerprint compares in cuckoo
+// filters), 16 lanes per step.
+func FindU16(arr []uint16, key uint16) int {
+	n := len(arr)
+	i := 0
+	for ; i+16 <= n; i += 16 {
+		a := arr[i : i+16 : i+16]
+		m := uint32(0)
+		for j := 0; j < 16; j++ {
+			if a[j] == key {
+				m |= 1 << uint(j)
+			}
+		}
+		if m != 0 {
+			return i + tz32(m)
+		}
+	}
+	for ; i < n; i++ {
+		if arr[i] == key {
+			return i
+		}
+	}
+	return -1
+}
+
+// MinU32 returns the index and value of the first minimum element. It
+// is the paper's parallel min-reduction over contiguous buckets
+// (HeavyKeeper / space-saving style eviction scans).
+func MinU32(arr []uint32) (idx int, val uint32) {
+	if len(arr) == 0 {
+		return -1, 0
+	}
+	idx, val = 0, arr[0]
+	i := 1
+	for ; i+4 <= len(arr); i += 4 {
+		a := arr[i : i+4 : i+4]
+		// Tournament reduction inside the block, then one compare
+		// against the running minimum.
+		bi, bv := 0, a[0]
+		if a[1] < bv {
+			bi, bv = 1, a[1]
+		}
+		if a[2] < bv {
+			bi, bv = 2, a[2]
+		}
+		if a[3] < bv {
+			bi, bv = 3, a[3]
+		}
+		if bv < val {
+			idx, val = i+bi, bv
+		}
+	}
+	for ; i < len(arr); i++ {
+		if arr[i] < val {
+			idx, val = i, arr[i]
+		}
+	}
+	return idx, val
+}
+
+// MaxU32 returns the index and value of the first maximum element.
+func MaxU32(arr []uint32) (idx int, val uint32) {
+	if len(arr) == 0 {
+		return -1, 0
+	}
+	idx, val = 0, arr[0]
+	i := 1
+	for ; i+4 <= len(arr); i += 4 {
+		a := arr[i : i+4 : i+4]
+		bi, bv := 0, a[0]
+		if a[1] > bv {
+			bi, bv = 1, a[1]
+		}
+		if a[2] > bv {
+			bi, bv = 2, a[2]
+		}
+		if a[3] > bv {
+			bi, bv = 3, a[3]
+		}
+		if bv > val {
+			idx, val = i+bi, bv
+		}
+	}
+	for ; i < len(arr); i++ {
+		if arr[i] > val {
+			idx, val = i, arr[i]
+		}
+	}
+	return idx, val
+}
+
+func tz32(m uint32) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}
+
+// --- Low-level per-instruction interface (Fig. 6 ablation) ---
+
+// Vec32 is one 8-lane vector value. The low-level API moves data between
+// memory and Vec32 values on every operation, reproducing the costly
+// load/store round-trips of Listing 1's bpf_mm256_* wrappers.
+type Vec32 [LaneWidth]uint32
+
+// VecLoad loads 8 lanes from mem (the costly SIMD load).
+func VecLoad(mem []uint32) Vec32 {
+	var v Vec32
+	copy(v[:], mem[:LaneWidth])
+	return v
+}
+
+// VecStore writes 8 lanes back to mem (the costly SIMD store).
+func VecStore(mem []uint32, v Vec32) {
+	copy(mem[:LaneWidth], v[:])
+}
+
+// VecMul multiplies lanes (the _mm256_mul_epu32 analogue).
+func VecMul(a, b Vec32) Vec32 {
+	var r Vec32
+	for i := range r {
+		r[i] = a[i] * b[i]
+	}
+	return r
+}
+
+// VecCmpEq compares lanes against key, producing an all-ones/zero mask
+// per lane.
+func VecCmpEq(a Vec32, key uint32) Vec32 {
+	var r Vec32
+	for i := range r {
+		if a[i] == key {
+			r[i] = ^uint32(0)
+		}
+	}
+	return r
+}
+
+// VecMoveMask extracts one bit per lane from a mask vector.
+func VecMoveMask(m Vec32) uint32 {
+	var bits uint32
+	for i := range m {
+		if m[i] != 0 {
+			bits |= 1 << uint(i)
+		}
+	}
+	return bits
+}
