@@ -1,0 +1,33 @@
+# Developer entry points. `make check` is the pre-PR gate: formatting,
+# vet, build, full tests, and race coverage of the concurrency-sensitive
+# packages (telemetry registry, VM stats, harness).
+
+GO ?= go
+
+.PHONY: all check fmt vet build test race bench bench-telemetry
+
+all: check
+
+check: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/telemetry/ ./internal/ebpf/vm/ ./internal/harness/
+
+bench:
+	$(GO) test -bench . -benchmem ./internal/ebpf/vm/
+
+bench-telemetry:
+	$(GO) test -run XX -bench BenchmarkTelemetryOverhead -count 5 ./internal/ebpf/vm/

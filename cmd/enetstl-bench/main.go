@@ -13,7 +13,9 @@ import (
 	"os"
 	"time"
 
+	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/experiments"
+	"enetstl/internal/telemetry"
 )
 
 func main() {
@@ -22,6 +24,7 @@ func main() {
 		packets = flag.Int("packets", 20000, "packets per throughput measurement")
 		trials  = flag.Int("trials", 3, "trials per measurement")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		stats   = flag.Bool("stats", false, "enable VM runtime stats and print metrics exposition after the run")
 	)
 	flag.Parse()
 
@@ -30,6 +33,12 @@ func main() {
 			fmt.Printf("%-8s %s\n", r.ID, r.Desc)
 		}
 		return
+	}
+
+	if *stats {
+		// The sysctl analogue: every VM the experiments build from here
+		// on collects run/call/map counters, merged after the run.
+		vm.SetGlobalStats(true)
 	}
 
 	opts := experiments.Options{Packets: *packets, Trials: *trials}
@@ -48,6 +57,7 @@ func main() {
 		for _, r := range experiments.All() {
 			run(r)
 		}
+		dumpStats(*stats)
 		return
 	}
 	r, ok := experiments.ByID(*id)
@@ -56,4 +66,19 @@ func main() {
 		os.Exit(2)
 	}
 	run(r)
+	dumpStats(*stats)
+}
+
+// dumpStats prints the merged VM counters of the whole run as metrics
+// exposition text.
+func dumpStats(enabled bool) {
+	if !enabled {
+		return
+	}
+	reg := telemetry.NewRegistry()
+	vm.CollectStats().Publish(reg)
+	if err := reg.WriteText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -11,8 +11,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/harness"
 	"enetstl/internal/nf"
 	"enetstl/internal/nf/bloom"
@@ -30,7 +32,23 @@ import (
 	"enetstl/internal/nf/tss"
 	"enetstl/internal/nf/vbf"
 	"enetstl/internal/pktgen"
+	"enetstl/internal/telemetry"
 )
+
+// countingInstance wraps a native (Kernel-flavour) instance so that
+// -stats covers run_cnt/run_time_ns for every flavour; VM-backed
+// instances are metered by the VM itself.
+type countingInstance struct {
+	nf.Instance
+	st *vm.Stats
+}
+
+func (c *countingInstance) Process(pkt []byte) (uint64, error) {
+	start := time.Now()
+	ret, err := c.Instance.Process(pkt)
+	c.st.RecordRun(c.Instance.Name(), time.Since(start))
+	return ret, err
+}
 
 func parseFlavor(s string) (nf.Flavor, error) {
 	switch s {
@@ -54,6 +72,8 @@ func main() {
 		trials  = flag.Int("trials", 3, "measurement trials")
 		seed    = flag.Int64("seed", 1, "trace seed")
 		disasm  = flag.Bool("disasm", false, "print the NF's bytecode and exit (VM flavours)")
+		stats   = flag.Bool("stats", false, "enable runtime stats (bpf_stats analogue) and print metrics exposition")
+		profile = flag.Bool("profile", false, "attribute execution time to helpers/kfuncs and exit (VM flavours)")
 	)
 	flag.Parse()
 
@@ -64,10 +84,31 @@ func main() {
 	}
 	trace := pktgen.Generate(pktgen.Config{Flows: *flows, Packets: *packets, ZipfS: *zipf, Seed: *seed})
 
+	if *stats {
+		// Flip before build so VMs created inside NF constructors are
+		// metered, as with sysctl kernel.bpf_stats_enabled.
+		vm.SetGlobalStats(true)
+	}
 	inst, err := build(*name, flavor, trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	var nativeStats *vm.Stats
+	if *stats {
+		if _, ok := inst.(*nf.VMInstance); !ok {
+			nativeStats = vm.NewStats()
+			inst = &countingInstance{Instance: inst, st: nativeStats}
+		}
+	}
+	if *profile {
+		rep, err := harness.Profile(inst, trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep)
+		return
 	}
 	if *disasm {
 		v, ok := inst.(*nf.VMInstance)
@@ -91,6 +132,35 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(lat)
+
+	if *stats {
+		merged := vm.CollectStats()
+		merged.Merge(nativeStats)
+		reg := telemetry.NewRegistry()
+		merged.Publish(reg)
+		labels := []telemetry.Label{
+			telemetry.L("nf", inst.Name()),
+			telemetry.L("flavor", inst.Flavor().String()),
+		}
+		reg.Gauge("nf_pps", labels...).Set(res.PPS)
+		reg.Gauge("nf_ns_per_pkt", labels...).Set(res.NsPerOp)
+		for _, q := range []struct {
+			name string
+			v    float64
+		}{
+			{"p50", lat.P50}, {"p99", lat.P99}, {"mean", lat.Mean},
+		} {
+			reg.Gauge("nf_latency_ns", append(labels, telemetry.L("quantile", q.name))...).Set(q.v)
+		}
+		reg.SetHelp("nf_pps", "mean throughput, packets per second")
+		reg.SetHelp("nf_ns_per_pkt", "mean per-packet processing time")
+		reg.SetHelp("nf_latency_ns", "per-packet latency incl. wire term")
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // build constructs an NF instance, populating lookup structures from

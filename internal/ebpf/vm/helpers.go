@@ -3,6 +3,7 @@ package vm
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // Helper IDs. Where a Linux equivalent exists the ID matches it;
@@ -35,6 +36,33 @@ const (
 	ListHeadSize   = 16
 )
 
+// helperNames names the built-in helper IDs for telemetry, matching
+// the kernel helper names where an equivalent exists.
+var helperNames = map[int32]string{
+	HelperMapLookup:     "map_lookup_elem",
+	HelperMapUpdate:     "map_update_elem",
+	HelperMapDelete:     "map_delete_elem",
+	HelperKtimeGetNS:    "ktime_get_ns",
+	HelperGetPrandomU32: "get_prandom_u32",
+	HelperSpinLock:      "spin_lock",
+	HelperSpinUnlock:    "spin_unlock",
+	HelperObjNew:        "obj_new",
+	HelperObjDrop:       "obj_drop",
+	HelperListPushFront: "list_push_front",
+	HelperListPushBack:  "list_push_back",
+	HelperListPopFront:  "list_pop_front",
+	HelperListPopBack:   "list_pop_back",
+	HelperKptrXchg:      "kptr_xchg",
+}
+
+// HelperName returns the telemetry name for a helper ID.
+func HelperName(id int32) string {
+	if n, ok := helperNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("helper_%d", id)
+}
+
 // HelperFn is a native helper implementation. Args come from R1-R5; the
 // returned value is placed in R0.
 type HelperFn func(vm *VM, a1, a2, a3, a4, a5 uint64) (uint64, error)
@@ -46,6 +74,18 @@ func (vm *VM) callHelper(id int32, r *[11]uint64) error {
 	fn, ok := vm.helpers[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoHelper, id)
+	}
+	if ps := vm.curProg; ps != nil {
+		start := time.Now()
+		ret, err := fn(vm, r[1], r[2], r[3], r[4], r[5])
+		cs := ps.callStats(ps.Helpers, id, HelperName(id))
+		cs.Count++
+		cs.Ns += uint64(time.Since(start).Nanoseconds())
+		if err != nil {
+			return err
+		}
+		r[0] = ret
+		return nil
 	}
 	ret, err := fn(vm, r[1], r[2], r[3], r[4], r[5])
 	if err != nil {
@@ -81,6 +121,13 @@ func registerBuiltinHelpers(vm *VM) {
 			return 0, err
 		}
 		arena, off, ok := m.LookupArena(key)
+		if st := vm.stats; st != nil {
+			ms := st.mapStats(int32(idx), m.Type().String())
+			ms.Lookup++
+			if !ok {
+				ms.Miss++
+			}
+		}
 		if !ok {
 			return 0, nil
 		}
@@ -100,6 +147,9 @@ func registerBuiltinHelpers(vm *VM) {
 		if err != nil {
 			return 0, err
 		}
+		if st := vm.stats; st != nil {
+			st.mapStats(int32(idx), m.Type().String()).Update++
+		}
 		if err := m.Update(key, val); err != nil {
 			return uint64(^uint64(0)), nil // -1, as the kernel returns -E*
 		}
@@ -114,6 +164,9 @@ func registerBuiltinHelpers(vm *VM) {
 		key, err := vm.Bytes(a2, m.KeySize())
 		if err != nil {
 			return 0, err
+		}
+		if st := vm.stats; st != nil {
+			st.mapStats(int32(idx), m.Type().String()).Delete++
 		}
 		if err := m.Delete(key); err != nil {
 			return uint64(^uint64(0)), nil

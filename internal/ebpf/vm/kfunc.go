@@ -1,6 +1,9 @@
 package vm
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // ArgKind classifies a kfunc/helper argument for the verifier.
 type ArgKind int
@@ -91,6 +94,18 @@ func (vm *VM) callKfunc(id int32, r *[11]uint64) error {
 	k, ok := vm.kfuncs[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoKfunc, id)
+	}
+	if ps := vm.curProg; ps != nil {
+		start := time.Now()
+		ret, err := k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
+		cs := ps.callStats(ps.Kfuncs, id, k.Name)
+		cs.Count++
+		cs.Ns += uint64(time.Since(start).Nanoseconds())
+		if err != nil {
+			return fmt.Errorf("kfunc %s: %w", k.Name, err)
+		}
+		r[0] = ret
+		return nil
 	}
 	ret, err := k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
 	if err != nil {

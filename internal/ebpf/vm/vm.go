@@ -13,6 +13,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"enetstl/internal/ebpf/isa"
 	"enetstl/internal/ebpf/maps"
@@ -103,6 +104,13 @@ type VM struct {
 	// InsnCount accumulates executed instructions across runs; the
 	// harness uses it for Fig. 1 style behaviour accounting.
 	InsnCount uint64
+
+	// stats is the attached telemetry collection domain; nil (the
+	// default) means disabled and keeps the hot path unmetered, like
+	// bpf_stats_enabled=0. curProg points at the running program's
+	// counters so helper/kfunc dispatch can attribute call time.
+	stats   *Stats
+	curProg *ProgStats
 }
 
 // New creates a VM with an empty map table and the built-in helpers.
@@ -117,6 +125,9 @@ func New() *VM {
 	vm.stackID = vm.allocRegion(make([]byte, StackSize), true)
 	vm.ctxID = vm.allocRegion(nil, true)
 	registerBuiltinHelpers(vm)
+	if GlobalStatsEnabled() {
+		registerGlobalStats(vm.EnableStats())
+	}
 	return vm
 }
 
@@ -413,8 +424,28 @@ func (vm *VM) Load(name string, prog []isa.Instruction) (*Program, error) {
 }
 
 // Run executes prog with ctx as the packet/context memory. It returns
-// the program's R0 (the XDP verdict for datapath programs).
+// the program's R0 (the XDP verdict for datapath programs). With stats
+// attached it also accounts run_cnt/run_time_ns and per-instruction /
+// per-call counters; the disabled path adds only a nil check.
 func (vm *VM) Run(p *Program, ctx []byte) (uint64, error) {
+	if vm.stats == nil {
+		return vm.exec(p, ctx, nil)
+	}
+	ps := vm.stats.prog(p.name)
+	vm.curProg = ps
+	start := time.Now()
+	ret, err := vm.exec(p, ctx, ps)
+	ps.RunCnt++
+	ps.RunTimeNs += uint64(time.Since(start).Nanoseconds())
+	vm.curProg = nil
+	return ret, err
+}
+
+// exec is the interpreter loop. ps is non-nil only when stats are
+// enabled; every per-instruction cost behind it sits under a
+// predictable nil check so the disabled hot path matches the unmetered
+// interpreter.
+func (vm *VM) exec(p *Program, ctx []byte, ps *ProgStats) (uint64, error) {
 	vm.regions[vm.ctxID].data = ctx
 
 	var r [isa.NumRegs]uint64
@@ -436,6 +467,10 @@ func (vm *VM) Run(p *Program, ctx []byte) (uint64, error) {
 		vm.InsnCount++
 		in := ins[pc]
 		op := in.Op
+		if ps != nil {
+			ps.Insns++
+			ps.OpClass[op&0x07]++
+		}
 		switch op & 0x07 {
 		case isa.ClassALU64:
 			src := uint64(int64(in.Imm))

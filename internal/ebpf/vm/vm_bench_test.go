@@ -74,6 +74,53 @@ func BenchmarkMapLookupHelper(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetryOverhead measures the cost of stats collection on
+// a representative mixed program (ALU + helper + map lookup): /off is
+// the default unmetered path, /on has a Stats attached. The /off
+// variant must stay at the pre-telemetry baseline (EXPERIMENTS.md).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	build := func(b *testing.B) (*vm.VM, *vm.Program) {
+		m := vm.New()
+		fd := m.RegisterMap(maps.NewArray(8, 8))
+		bb := asm.New()
+		bb.MovImm(asm.R0, 0)
+		bb.StoreImm(asm.R10, -4, 3, 4)
+		for i := 0; i < 8; i++ {
+			bb.AddImm(asm.R0, 1)
+			bb.Call(vm.HelperGetPrandomU32)
+			bb.LoadMap(asm.R1, fd)
+			bb.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+			bb.Call(vm.HelperMapLookup)
+		}
+		bb.MovImm(asm.R0, 0)
+		bb.Exit()
+		prog, err := m.Load("mixed", bb.MustProgram())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return m, prog
+	}
+	b.Run("off", func(b *testing.B) {
+		m, prog := build(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(prog, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		m, prog := build(b)
+		m.EnableStats()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Run(prog, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func BenchmarkKfuncCall(b *testing.B) {
 	m := vm.New()
 	m.RegisterKfunc(&vm.Kfunc{

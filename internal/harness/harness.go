@@ -11,8 +11,10 @@ import (
 	"sort"
 	"time"
 
+	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/nf"
 	"enetstl/internal/pktgen"
+	"enetstl/internal/telemetry"
 )
 
 // Result is one throughput measurement.
@@ -23,6 +25,9 @@ type Result struct {
 	PPS     float64 // mean packets per second
 	PPSStd  float64
 	NsPerOp float64 // mean per-packet processing time
+	// Stats is a snapshot of the backing VM's accumulated program
+	// counters, when the instance is VM-backed and stats are enabled.
+	Stats *vm.ProgStats
 }
 
 func (r Result) String() string {
@@ -64,7 +69,22 @@ func Throughput(inst nf.Instance, trace *pktgen.Trace, trials int) (Result, erro
 	return Result{
 		Name: inst.Name(), Flavor: inst.Flavor().String(), Trials: trials,
 		PPS: mean, PPSStd: std, NsPerOp: 1e9 / mean,
+		Stats: vmStats(inst),
 	}, nil
+}
+
+// vmStats snapshots the program counters of a VM-backed instance with
+// stats enabled; nil otherwise.
+func vmStats(inst nf.Instance) *vm.ProgStats {
+	v, ok := inst.(*nf.VMInstance)
+	if !ok || v.Machine.Stats() == nil {
+		return nil
+	}
+	ps, ok := v.Machine.Stats().ProgSnapshot(v.Prog.Name())
+	if !ok {
+		return nil
+	}
+	return &ps
 }
 
 func meanStd(xs []float64) (mean, std float64) {
@@ -90,6 +110,11 @@ type LatencyResult struct {
 	P50    float64 // ns
 	P99    float64
 	Mean   float64
+	// Dist is the full latency distribution (telemetry histogram
+	// snapshot: count, sum, min/max, bucket-estimated quantiles).
+	Dist telemetry.HistSnapshot
+	// Stats mirrors Result.Stats for VM-backed instances.
+	Stats *vm.ProgStats
 }
 
 func (l LatencyResult) String() string {
@@ -104,28 +129,36 @@ const WireNs = 3000
 
 // Latency measures per-packet processing latency over the trace,
 // modelling the paper's 1 kpps low-load experiment: each packet is
-// timed individually and the constant wire term added.
+// timed individually and the constant wire term added. P50/P99 are
+// exact linearly-interpolated rank quantiles over the observed
+// samples; Dist carries the telemetry histogram of the same samples.
 func Latency(inst nf.Instance, trace *pktgen.Trace) (LatencyResult, error) {
+	if len(trace.Packets) == 0 {
+		return LatencyResult{}, fmt.Errorf("harness: empty trace")
+	}
+	hist := telemetry.NewHistogram(nil)
 	durs := make([]float64, 0, len(trace.Packets))
 	for i := range trace.Packets {
 		start := time.Now()
 		if _, err := inst.Process(trace.Packets[i][:]); err != nil {
 			return LatencyResult{}, err
 		}
-		durs = append(durs, float64(time.Since(start).Nanoseconds())+WireNs)
+		d := float64(time.Since(start).Nanoseconds()) + WireNs
+		durs = append(durs, d)
+		hist.Observe(d)
 	}
 	sort.Float64s(durs)
 	var sum float64
 	for _, d := range durs {
 		sum += d
 	}
-	pct := func(p float64) float64 {
-		idx := int(p * float64(len(durs)-1))
-		return durs[idx]
-	}
 	return LatencyResult{
 		Name: inst.Name(), Flavor: inst.Flavor().String(),
-		P50: pct(0.50), P99: pct(0.99), Mean: sum / float64(len(durs)),
+		P50:   telemetry.Quantile(durs, 0.50),
+		P99:   telemetry.Quantile(durs, 0.99),
+		Mean:  sum / float64(len(durs)),
+		Dist:  hist.Snapshot(),
+		Stats: vmStats(inst),
 	}, nil
 }
 

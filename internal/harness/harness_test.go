@@ -2,9 +2,12 @@ package harness
 
 import (
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/nf"
 	"enetstl/internal/pktgen"
 )
@@ -74,6 +77,131 @@ func TestLatencyIncludesWireTerm(t *testing.T) {
 	}
 	if lr.P50 < WireNs || lr.Mean < WireNs || lr.P99 < lr.P50 {
 		t.Fatalf("latency result inconsistent: %+v", lr)
+	}
+}
+
+// TestLatencyEmptyTrace is the regression test for the empty-trace
+// panic: Latency used to index durs[idx] on a zero-length slice.
+func TestLatencyEmptyTrace(t *testing.T) {
+	if _, err := Latency(&fakeNF{name: "x"}, &pktgen.Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestLatencyDistSnapshot(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 50, Seed: 9})
+	lr, err := Latency(&fakeNF{name: "x"}, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Dist.Count != 50 {
+		t.Fatalf("Dist.Count = %d, want 50", lr.Dist.Count)
+	}
+	if lr.Dist.Min < WireNs || lr.Dist.Max < lr.Dist.Min {
+		t.Fatalf("Dist bounds inconsistent: %+v", lr.Dist)
+	}
+}
+
+// vmInstance builds a trivial VM-backed NF: one ktime helper call, one
+// registered kfunc call, return 2 (XDP_PASS).
+func vmInstance(t *testing.T) *nf.VMInstance {
+	t.Helper()
+	m := vm.New()
+	m.RegisterKfunc(&vm.Kfunc{
+		ID: 777, Name: "test_touch",
+		Impl: func(_ *vm.VM, _, _, _, _, _ uint64) (uint64, error) { return 0, nil },
+		Meta: vm.KfuncMeta{Ret: vm.RetScalar},
+	})
+	bb := asm.New()
+	bb.Call(vm.HelperKtimeGetNS)
+	bb.Kfunc(777)
+	bb.MovImm(asm.R0, 2)
+	bb.Exit()
+	p, err := m.Load("prof", bb.MustProgram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nf.NewVMInstance("prof", nf.ENetSTL, m, p)
+}
+
+func TestProfileAttribution(t *testing.T) {
+	inst := vmInstance(t)
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 100, Seed: 5})
+	rep, err := Profile(inst, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packets != 100 || rep.Insns != 400 {
+		t.Fatalf("report totals: %+v", rep)
+	}
+	byName := map[string]Callee{}
+	for _, c := range rep.Callees {
+		byName[c.Name] = c
+	}
+	if c := byName["ktime_get_ns"]; c.Kind != "helper" || c.Calls != 100 {
+		t.Fatalf("helper row: %+v", c)
+	}
+	if c := byName["test_touch"]; c.Kind != "kfunc" || c.Calls != 100 {
+		t.Fatalf("kfunc row: %+v", c)
+	}
+	var frac float64
+	for _, c := range rep.Callees {
+		frac += c.Fraction
+	}
+	frac += rep.InterpFraction
+	if frac < 0.5 || frac > 1.01 {
+		t.Fatalf("fractions sum to %.2f", frac)
+	}
+	if s := rep.String(); !strings.Contains(s, "test_touch") || !strings.Contains(s, "opcode mix:") {
+		t.Fatalf("report rendering:\n%s", s)
+	}
+	// Profiling must not leave a stats attachment behind.
+	if inst.Machine.Stats() != nil {
+		t.Fatal("Profile leaked a stats attachment")
+	}
+}
+
+func TestProfileRejectsNative(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 10, Seed: 6})
+	if _, err := Profile(&fakeNF{name: "native"}, trace); err == nil {
+		t.Fatal("native instance accepted")
+	}
+	if _, err := Profile(vmInstance(t), &pktgen.Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestStatsAttachment(t *testing.T) {
+	inst := vmInstance(t)
+	trace := pktgen.Generate(pktgen.Config{Flows: 2, Packets: 20, Seed: 7})
+
+	// Stats disabled: no snapshot attached.
+	r, err := Throughput(inst, trace, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats != nil {
+		t.Fatalf("stats attached while disabled: %+v", r.Stats)
+	}
+
+	inst.Machine.EnableStats()
+	r, err = Throughput(inst, trace, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// warmup + 1 trial = 2 passes of 20 packets.
+	if r.Stats == nil || r.Stats.RunCnt != 40 {
+		t.Fatalf("throughput stats: %+v", r.Stats)
+	}
+	lr, err := Latency(inst, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr.Stats == nil || lr.Stats.RunCnt != 60 {
+		t.Fatalf("latency stats: %+v", lr.Stats)
+	}
+	if len(lr.Stats.Kfuncs) != 1 {
+		t.Fatalf("kfunc attribution missing: %+v", lr.Stats)
 	}
 }
 
