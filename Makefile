@@ -1,14 +1,15 @@
 # Developer entry points. `make check` is the pre-PR gate: formatting,
-# vet, build, full tests, and race coverage of the concurrency-sensitive
-# packages (telemetry registry, VM stats, harness).
+# vet, build, full tests, race coverage of the concurrency-sensitive
+# packages (telemetry registry, VM stats, harness incl. the chaos
+# tests), and a quick chaos smoke over the full NF catalog.
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-telemetry
+.PHONY: all check fmt vet build test race bench bench-telemetry chaos-smoke
 
 all: check
 
-check: fmt vet build test race
+check: fmt vet build test race chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,6 +26,11 @@ test:
 
 race:
 	$(GO) test -race ./internal/telemetry/ ./internal/ebpf/vm/ ./internal/harness/
+
+# 1500 packets is the smallest trace that exercises every fault site
+# (rpool refills happen once per ~4096 draws).
+chaos-smoke:
+	$(GO) run ./cmd/nfrun -chaos -packets 1500 -flows 256
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/ebpf/vm/

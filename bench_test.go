@@ -474,7 +474,7 @@ func newSketchSuite(enetstl bool) (nf.Instance, error) {
 // lazy safety checking against eager per-traversal validation (§4.2).
 func BenchmarkAblation_LazyVsEagerSafety(b *testing.B) {
 	build := func(eager bool) (*memwrapper.Proxy, *memwrapper.Node) {
-		p := memwrapper.NewProxy(32, 1)
+		p := memwrapper.Must(memwrapper.NewProxy(32, 1))
 		p.Eager = eager
 		head, _ := p.Alloc(1)
 		p.SetOwner(head)
@@ -538,7 +538,7 @@ func BenchmarkAblation_ListBucketsLocking(b *testing.B) {
 
 // BenchmarkComponent_ListBucketsNative measures raw list-buckets ops.
 func BenchmarkComponent_ListBucketsNative(b *testing.B) {
-	lb := listbuckets.New(1024, 16, 4096)
+	lb := listbuckets.Must(listbuckets.New(1024, 16, 4096))
 	var e [16]byte
 	b.Run("push_pop", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {

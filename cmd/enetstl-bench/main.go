@@ -15,6 +15,8 @@ import (
 
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/experiments"
+	"enetstl/internal/harness"
+	"enetstl/internal/nfcatalog"
 	"enetstl/internal/telemetry"
 )
 
@@ -25,8 +27,14 @@ func main() {
 		trials  = flag.Int("trials", 3, "trials per measurement")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		stats   = flag.Bool("stats", false, "enable VM runtime stats and print metrics exposition after the run")
+		faults  = flag.Bool("faults", false, "run the chaos fault-injection suite over the full NF catalog instead of the paper experiments")
 	)
 	flag.Parse()
+
+	if *faults {
+		runFaults(*packets, *stats)
+		return
+	}
 
 	if *list {
 		for _, r := range experiments.All() {
@@ -79,6 +87,43 @@ func dumpStats(enabled bool) {
 	vm.CollectStats().Publish(reg)
 	if err := reg.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runFaults replays the full NF catalog (plus the composed apps) under
+// each fault schedule separately and prints the robustness table: how
+// many faults each schedule injected and how many contract violations
+// escaped (the paper-quality answer is zero). Exits non-zero on any
+// violation.
+func runFaults(packets int, stats bool) {
+	fmt.Println("chaos robustness: full NF catalog + apps, one row per fault schedule")
+	fmt.Printf("%-12s %10s %12s %12s %12s\n", "schedule", "packets", "evaluated", "injected", "violations")
+	var total uint64
+	reg := telemetry.NewRegistry()
+	for _, sch := range harness.ChaosSchedules() {
+		cases, err := nfcatalog.Cases(nfcatalog.CasesConfig{Packets: packets, Apps: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := harness.Chaos(cases, []harness.ChaosSchedule{sch}, 0)
+		fmt.Printf("%-12s %10d %12d %12d %12d\n",
+			sch.Name, res.Packets, res.Evaluated, res.Injected, res.ViolationsTotal)
+		for _, v := range res.Violations {
+			fmt.Printf("    %s\n", v)
+		}
+		res.Publish(reg)
+		total += res.ViolationsTotal
+	}
+	if stats {
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if total > 0 {
 		os.Exit(1)
 	}
 }

@@ -17,20 +17,7 @@ import (
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/harness"
 	"enetstl/internal/nf"
-	"enetstl/internal/nf/bloom"
-	"enetstl/internal/nf/cmsketch"
-	"enetstl/internal/nf/cuckoofilter"
-	"enetstl/internal/nf/cuckooswitch"
-	"enetstl/internal/nf/daryhash"
-	"enetstl/internal/nf/edf"
-	"enetstl/internal/nf/eiffel"
-	"enetstl/internal/nf/heavykeeper"
-	"enetstl/internal/nf/nitrosketch"
-	"enetstl/internal/nf/skiplist"
-	"enetstl/internal/nf/spacesaving"
-	"enetstl/internal/nf/timewheel"
-	"enetstl/internal/nf/tss"
-	"enetstl/internal/nf/vbf"
+	"enetstl/internal/nfcatalog"
 	"enetstl/internal/pktgen"
 	"enetstl/internal/telemetry"
 )
@@ -64,18 +51,25 @@ func parseFlavor(s string) (nf.Flavor, error) {
 
 func main() {
 	var (
-		name    = flag.String("nf", "cmsketch", "network function: skiplist cuckooswitch cmsketch nitrosketch cuckoofilter bloom vbf eiffel timewheel edf tss heavykeeper spacesaving daryhash")
-		flavorS = flag.String("flavor", "enetstl", "kernel | ebpf | enetstl")
-		packets = flag.Int("packets", 100000, "trace length")
-		flows   = flag.Int("flows", 1024, "distinct flows")
-		zipf    = flag.Float64("zipf", 1.1, "zipf skew (0 = uniform)")
-		trials  = flag.Int("trials", 3, "measurement trials")
-		seed    = flag.Int64("seed", 1, "trace seed")
-		disasm  = flag.Bool("disasm", false, "print the NF's bytecode and exit (VM flavours)")
-		stats   = flag.Bool("stats", false, "enable runtime stats (bpf_stats analogue) and print metrics exposition")
-		profile = flag.Bool("profile", false, "attribute execution time to helpers/kfuncs and exit (VM flavours)")
+		name      = flag.String("nf", "cmsketch", "network function: skiplist cuckooswitch cmsketch nitrosketch cuckoofilter bloom vbf eiffel timewheel edf tss heavykeeper spacesaving daryhash")
+		flavorS   = flag.String("flavor", "enetstl", "kernel | ebpf | enetstl")
+		packets   = flag.Int("packets", 100000, "trace length")
+		flows     = flag.Int("flows", 1024, "distinct flows")
+		zipf      = flag.Float64("zipf", 1.1, "zipf skew (0 = uniform)")
+		trials    = flag.Int("trials", 3, "measurement trials")
+		seed      = flag.Int64("seed", 1, "trace seed")
+		disasm    = flag.Bool("disasm", false, "print the NF's bytecode and exit (VM flavours)")
+		stats     = flag.Bool("stats", false, "enable runtime stats (bpf_stats analogue) and print metrics exposition")
+		profile   = flag.Bool("profile", false, "attribute execution time to helpers/kfuncs and exit (VM flavours)")
+		chaos     = flag.Bool("chaos", false, "replay every registered NF (all flavours) and the composed apps under the fault-schedule grid, check the robustness contract, and exit")
+		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-plane seed for -chaos (0 = default); a failing seed replays bit-for-bit")
 	)
 	flag.Parse()
+
+	if *chaos {
+		runChaos(*packets, *flows, *seed, *chaosSeed, *stats)
+		return
+	}
 
 	flavor, err := parseFlavor(*flavorS)
 	if err != nil {
@@ -89,7 +83,7 @@ func main() {
 		// metered, as with sysctl kernel.bpf_stats_enabled.
 		vm.SetGlobalStats(true)
 	}
-	inst, err := build(*name, flavor, trace)
+	inst, err := nfcatalog.Build(*name, flavor, trace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -163,120 +157,31 @@ func main() {
 	}
 }
 
-// build constructs an NF instance, populating lookup structures from
-// the trace's flows where the NF needs a table.
-func build(name string, flavor nf.Flavor, trace *pktgen.Trace) (nf.Instance, error) {
-	queueize := func() {
-		trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
-		for i := range trace.Packets {
-			trace.Packets[i].SetArg(uint32(i * 2654435761))
-			trace.Packets[i].SetTS(uint64(i / 2))
+// runChaos drives the chaos harness over the full NF catalog and the
+// composed apps, printing the per-site injection counters and any
+// contract violations. Exits non-zero when the contract is violated.
+func runChaos(packets, flows int, traceSeed int64, faultSeed uint64, stats bool) {
+	cases, err := nfcatalog.Cases(nfcatalog.CasesConfig{
+		Packets: packets, Flows: flows, Seed: traceSeed, Apps: true})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := harness.Chaos(cases, harness.ChaosSchedules(), faultSeed)
+	fmt.Println(res)
+	for _, c := range res.SiteCounts {
+		fmt.Printf("  site %-14s evaluated=%-8d injected=%d\n", c.Site, c.Evaluated, c.Injected)
+	}
+	if stats {
+		reg := telemetry.NewRegistry()
+		res.Publish(reg)
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
-	switch name {
-	case "skiplist":
-		s, err := skiplist.New(flavor)
-		if err != nil {
-			return nil, err
-		}
-		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup, nf.OpDelete}, []int{1, 2, 1})
-		return s, nil
-	case "cuckooswitch":
-		s, err := cuckooswitch.New(flavor, cuckooswitch.Config{Buckets: 1024})
-		if err != nil {
-			return nil, err
-		}
-		for i := range trace.FlowKeys {
-			s.Insert(trace.FlowKeys[i][:], uint32(100+i))
-		}
-		return s.Instance, nil
-	case "cmsketch":
-		s, err := cmsketch.New(flavor, cmsketch.Config{Rows: 8, Width: 4096})
-		if err != nil {
-			return nil, err
-		}
-		return s.Instance, nil
-	case "nitrosketch":
-		s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4})
-		if err != nil {
-			return nil, err
-		}
-		return s.Instance, nil
-	case "cuckoofilter":
-		f, err := cuckoofilter.New(flavor, cuckoofilter.Config{Buckets: 1024})
-		if err != nil {
-			return nil, err
-		}
-		for i := range trace.FlowKeys {
-			f.Insert(trace.FlowKeys[i][:])
-		}
-		return f.Instance, nil
-	case "vbf":
-		v, err := vbf.New(flavor, vbf.Config{Bits: 16384, Hashes: 4})
-		if err != nil {
-			return nil, err
-		}
-		for i := range trace.FlowKeys {
-			v.Insert(trace.FlowKeys[i][:], i%32)
-		}
-		return v.Instance, nil
-	case "eiffel":
-		q, err := eiffel.New(flavor, eiffel.Config{Levels: 2})
-		if err != nil {
-			return nil, err
-		}
-		queueize()
-		return q.Instance, nil
-	case "timewheel":
-		w, err := timewheel.New(flavor, timewheel.Config{Slots: 1024})
-		if err != nil {
-			return nil, err
-		}
-		queueize()
-		return w.Instance, nil
-	case "edf":
-		e, err := edf.New(flavor, edf.Config{Groups: 1024, Targets: 64})
-		if err != nil {
-			return nil, err
-		}
-		return e.Instance, nil
-	case "tss":
-		c, err := tss.New(flavor, tss.Config{Spaces: 8, Slots: 1024})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < len(trace.FlowKeys)/2; i++ {
-			c.Insert(trace.FlowKeys[i][:], i%8, uint32(i%7+1), uint32(i))
-		}
-		return c.Instance, nil
-	case "heavykeeper":
-		h, err := heavykeeper.New(flavor, heavykeeper.Config{Rows: 4, Width: 4096})
-		if err != nil {
-			return nil, err
-		}
-		return h.Instance, nil
-	case "bloom":
-		f, err := bloom.New(flavor, bloom.Config{Bits: 1 << 16, Hashes: 4})
-		if err != nil {
-			return nil, err
-		}
-		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup}, []int{1, 3})
-		return f.Instance, nil
-	case "spacesaving":
-		s, err := spacesaving.New(flavor, spacesaving.Config{Slots: 64})
-		if err != nil {
-			return nil, err
-		}
-		return s.Instance, nil
-	case "daryhash":
-		d, err := daryhash.New(flavor, daryhash.Config{Slots: 4096, D: 4})
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < len(trace.FlowKeys) && i < 2048; i++ {
-			d.Insert(trace.FlowKeys[i][:], uint32(100+i))
-		}
-		return d.Instance, nil
+	if res.Failed() {
+		os.Exit(1)
 	}
-	return nil, fmt.Errorf("unknown NF %q", name)
 }

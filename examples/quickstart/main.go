@@ -37,7 +37,7 @@ func main() {
 
 	// 2. The sketch lives in a BPF array map: one value holding the
 	//    whole rows x width u32 counter matrix.
-	counters := maps.NewArray(rows*width*4, 1)
+	counters := maps.Must(maps.NewArray(rows*width*4, 1))
 	fd := machine.RegisterMap(counters)
 
 	// 3. The datapath program: look up the matrix, call kf_hash_cnt on

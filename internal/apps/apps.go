@@ -120,3 +120,7 @@ func NewSketchSuite(enetstl bool) (*App, error) {
 	return &App{name: "sketches", flavor: fl,
 		stages: []nf.Instance{cms.Instance, hk.Instance}}, nil
 }
+
+// Stages exposes the pipeline's stage instances so harnesses can
+// instrument each stage's VM or native state individually.
+func (a *App) Stages() []nf.Instance { return a.stages }

@@ -82,6 +82,10 @@ type Config struct {
 	// MaxBktElem is the largest element the list-bucket kfuncs accept.
 	// Defaults to 256.
 	MaxBktElem int
+	// AllocFault, when it returns true, makes the node_alloc kfunc fail
+	// (NULL to programs) — the library's ALLOW_ERROR_INJECTION surface,
+	// wired to the fault plane by the chaos harness.
+	AllocFault func() bool
 }
 
 // Lib is the library instance attached to one VM.
@@ -120,22 +124,47 @@ func Attach(machine *vm.VM, cfg Config) *Lib {
 // VM returns the bound machine.
 func (l *Lib) VM() *vm.VM { return l.vm }
 
+// SetAllocFault installs (or clears, with nil) the node-allocation
+// fault hook consulted by the node_alloc kfunc.
+func (l *Lib) SetAllocFault(fn func() bool) { l.cfg.AllocFault = fn }
+
 // --- Native-side object management (the control-plane path) ---
 
 // NewPoolHandle installs a uniform random pool and returns its handle
 // for storage in a BPF map.
-func (l *Lib) NewPoolHandle(size int, seed uint64) uint64 {
-	return l.vm.AllocHandle(rpool.NewPool(size, seed))
+func (l *Lib) NewPoolHandle(size int, seed uint64) (uint64, error) {
+	p, err := rpool.NewPool(size, seed)
+	if err != nil {
+		return 0, err
+	}
+	return l.vm.AllocHandle(p), nil
 }
 
 // NewGeoPoolHandle installs a geometric pool.
-func (l *Lib) NewGeoPoolHandle(size int, prob float64, seed uint64) uint64 {
-	return l.vm.AllocHandle(rpool.NewGeoPool(size, prob, seed))
+func (l *Lib) NewGeoPoolHandle(size int, prob float64, seed uint64) (uint64, error) {
+	g, err := rpool.NewGeoPool(size, prob, seed)
+	if err != nil {
+		return 0, err
+	}
+	return l.vm.AllocHandle(g), nil
 }
 
 // NewBucketsHandle installs a list-buckets instance.
-func (l *Lib) NewBucketsHandle(nBuckets, elemSize, capacity int) uint64 {
-	return l.vm.AllocHandle(listbuckets.New(nBuckets, elemSize, capacity))
+func (l *Lib) NewBucketsHandle(nBuckets, elemSize, capacity int) (uint64, error) {
+	lb, err := listbuckets.New(nBuckets, elemSize, capacity)
+	if err != nil {
+		return 0, err
+	}
+	return l.vm.AllocHandle(lb), nil
+}
+
+// MustHandle unwraps a handle-constructor result, panicking on error;
+// for call sites with static, pre-validated sizes.
+func MustHandle(h uint64, err error) uint64 {
+	if err != nil {
+		panic(err)
+	}
+	return h
 }
 
 // Buckets resolves a list-buckets handle (for control-plane draining).

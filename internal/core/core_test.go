@@ -64,7 +64,7 @@ func TestHashKfuncMatchesNative(t *testing.T) {
 func TestFindKfunc(t *testing.T) {
 	machine := vm.New()
 	core.Attach(machine, core.Config{})
-	arr := maps.NewArray(32, 1) // 8 u32 lanes
+	arr := maps.Must(maps.NewArray(32, 1)) // 8 u32 lanes
 	fd := machine.RegisterMap(arr)
 	// lane 5 = 0xDEAD
 	d := arr.Data()
@@ -94,7 +94,7 @@ func TestBucketListKfuncLifecycle(t *testing.T) {
 	// insert and pop an element.
 	machine := vm.New()
 	core.Attach(machine, core.Config{})
-	state := maps.NewArray(8, 1)
+	state := maps.Must(maps.NewArray(8, 1))
 	fd := machine.RegisterMap(state)
 
 	b := asm.New()
@@ -160,7 +160,7 @@ func TestMemWrapperKfuncsListing3(t *testing.T) {
 	// Listing 3's list_add through the kfunc surface.
 	machine := vm.New()
 	lib := core.Attach(machine, core.Config{NodeDataSize: 32})
-	proxy := memwrapper.NewProxy(32, 2)
+	proxy := memwrapper.Must(memwrapper.NewProxy(32, 2))
 	ph := lib.NewProxyHandle(proxy)
 	root, err := proxy.Alloc(2)
 	if err != nil {
@@ -169,7 +169,7 @@ func TestMemWrapperKfuncsListing3(t *testing.T) {
 	proxy.SetOwner(root)
 	proxy.Release(root)
 	lib.SetRoot(ph, root)
-	state := maps.NewArray(8, 1)
+	state := maps.Must(maps.NewArray(8, 1))
 	fd := machine.RegisterMap(state)
 	d := state.Data()
 	for i := 0; i < 8; i++ {
@@ -250,8 +250,8 @@ func TestHandleTypeMismatchFailsAtRuntime(t *testing.T) {
 	// A list-buckets handle passed to a pool kfunc must error.
 	machine := vm.New()
 	lib := core.Attach(machine, core.Config{})
-	h := lib.NewBucketsHandle(4, 8, 8)
-	state := maps.NewArray(8, 1)
+	h := core.MustHandle(lib.NewBucketsHandle(4, 8, 8))
+	state := maps.Must(maps.NewArray(8, 1))
 	fd := machine.RegisterMap(state)
 	d := state.Data()
 	for i := 0; i < 8; i++ {

@@ -436,7 +436,10 @@ func (l *Lib) registerRpool() {
 	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfRpoolRefill, Name: "enetstl_rpool_refill",
 		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
 			{Kind: vm.ArgPtrToMem, SizeArg: 2}, {Kind: vm.ArgScalar},
-		}, Ret: vm.RetVoid},
+		}, Ret: vm.RetVoid,
+			// Error-injectable: a skipped refill leaves the program
+			// serving its previous batch — stale randomness, never UB.
+			ErrInject: true},
 		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
 			buf, err := machine.Bytes(a1, int(a2))
 			if err != nil {
@@ -481,12 +484,16 @@ func (l *Lib) registerBuckets() {
 	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktNew, Name: "enetstl_bktlist_new",
 		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
 			{Kind: vm.ArgScalar}, {Kind: vm.ArgScalar},
-		}, Ret: vm.RetHandle, Acquire: true, MayBeNull: true},
+		}, Ret: vm.RetHandle, Acquire: true, MayBeNull: true, ErrInject: true},
 		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
 			if a1 == 0 || a1 > 1<<20 || a2 == 0 || a2 > uint64(l.cfg.MaxBktElem) {
 				return 0, nil // allocation failure -> NULL
 			}
-			return machine.AllocHandle(listbuckets.New(int(a1), int(a2), 64)), nil
+			lb, err := listbuckets.New(int(a1), int(a2), 64)
+			if err != nil {
+				return 0, nil // allocation failure -> NULL
+			}
+			return machine.AllocHandle(lb), nil
 		}})
 	// kf_bktlist_destroy(handle).
 	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfBktDestroy, Name: "enetstl_bktlist_destroy",
@@ -501,7 +508,11 @@ func (l *Lib) registerBuckets() {
 			Meta: vm.KfuncMeta{NumArgs: 4, Args: [5]vm.ArgSpec{
 				{Kind: vm.ArgHandle}, {Kind: vm.ArgScalar},
 				{Kind: vm.ArgPtrToMem, SizeArg: 4}, {Kind: vm.ArgScalar},
-			}, Ret: vm.RetScalar},
+			}, Ret: vm.RetScalar,
+				// Error-injectable: a failed insert returns the same -1
+				// the bad-argument path already produces; the element is
+				// shed, the structure stays consistent.
+				ErrInject: true},
 			Impl: func(machine *vm.VM, a1, a2, a3, a4, _ uint64) (uint64, error) {
 				lb, err := l.buckets(machine, a1)
 				if err != nil {

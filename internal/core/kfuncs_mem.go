@@ -20,11 +20,13 @@ func (l *Lib) registerMemWrapper() {
 	nodeSize := l.cfg.NodeDataSize
 	nodeArg := vm.ArgSpec{Kind: vm.ArgPtrToMem, Size: nodeSize}
 
-	// kf_node_alloc(proxyH, nOuts) -> node ptr.
+	// kf_node_alloc(proxyH, nOuts) -> node ptr. Error-injectable: the
+	// NULL failure path is exactly what KF_RET_NULL already forces
+	// programs to handle.
 	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfNodeAlloc, Name: "enetstl_node_alloc",
 		Meta: vm.KfuncMeta{NumArgs: 2, Args: [5]vm.ArgSpec{
 			{Kind: vm.ArgHandle}, {Kind: vm.ArgScalar},
-		}, Ret: vm.RetMem, MemSize: nodeSize, Acquire: true, MayBeNull: true},
+		}, Ret: vm.RetMem, MemSize: nodeSize, Acquire: true, MayBeNull: true, ErrInject: true},
 		Impl: func(machine *vm.VM, a1, a2, _, _, _ uint64) (uint64, error) {
 			p, err := l.proxy(a1)
 			if err != nil {
@@ -32,6 +34,9 @@ func (l *Lib) registerMemWrapper() {
 			}
 			if p.DataSize() != nodeSize {
 				return 0, vm.ErrBadHandle
+			}
+			if l.cfg.AllocFault != nil && l.cfg.AllocFault() {
+				return 0, nil // injected allocation failure -> NULL
 			}
 			n, err := p.Alloc(int(a2))
 			if err != nil {
@@ -129,10 +134,12 @@ func (l *Lib) registerMemWrapper() {
 		}})
 
 	// kf_proxy_root(proxyH) -> designated root node ptr (ref taken).
+	// Error-injectable: a NULL root is the already-handled "structure
+	// not initialized yet" path.
 	l.vm.RegisterKfunc(&vm.Kfunc{ID: KfProxyRoot, Name: "enetstl_proxy_root",
 		Meta: vm.KfuncMeta{NumArgs: 1, Args: [5]vm.ArgSpec{
 			{Kind: vm.ArgHandle},
-		}, Ret: vm.RetMem, MemSize: nodeSize, Acquire: true, MayBeNull: true},
+		}, Ret: vm.RetMem, MemSize: nodeSize, Acquire: true, MayBeNull: true, ErrInject: true},
 		Impl: func(machine *vm.VM, a1, _, _, _, _ uint64) (uint64, error) {
 			p, err := l.proxy(a1)
 			if err != nil {

@@ -1,0 +1,36 @@
+package maps
+
+import "testing"
+
+// The disarmed fault plane must cost nothing measurable: a Faulty with
+// nil hooks is two nil checks per op, and hooks wired to a disarmed
+// (nil) site are one extra call plus an atomic load. Compare against
+// the bare map to pin the overhead.
+
+func benchArray(b *testing.B, m ArenaMap) {
+	b.Helper()
+	key := []byte{0, 0, 0, 0}
+	val := make([]byte, 8)
+	if err := m.Update(key, val); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if m.Lookup(key) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkArrayLookupBare(b *testing.B) {
+	benchArray(b, Must(NewArray(8, 16)))
+}
+
+func BenchmarkArrayLookupFaultyNilHooks(b *testing.B) {
+	benchArray(b, &Faulty{M: Must(NewArray(8, 16))})
+}
+
+func BenchmarkArrayLookupFaultyDisarmed(b *testing.B) {
+	disarmed := func() bool { return false }
+	benchArray(b, &Faulty{M: Must(NewArray(8, 16)), FailUpdate: disarmed, MissLookup: disarmed})
+}

@@ -41,7 +41,22 @@ var (
 	ErrValueSize = errors.New("bpf map: wrong value size")
 	ErrNoSpace   = errors.New("bpf map: max entries reached (E2BIG)")
 	ErrNotFound  = errors.New("bpf map: no such element (ENOENT)")
+	ErrConfig    = errors.New("bpf map: invalid configuration (EINVAL)")
 )
+
+// maxMapBytes bounds a single map's backing store, like the kernel's
+// memlock accounting: absurd size requests become errors, not OOM.
+const maxMapBytes = 1 << 31
+
+// Must unwraps a map constructor result, panicking on error. For call
+// sites whose sizes are static or already validated (tests, NFs that
+// run Config.validate first).
+func Must[M Map](m M, err error) M {
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
 
 // Map is the interface the VM and verifier consume. Lookup returns a
 // slice aliasing the stored value (writes through it persist), or nil if
@@ -66,11 +81,14 @@ type Array struct {
 }
 
 // NewArray creates an array map with n elements of valueSize bytes.
-func NewArray(valueSize, n int) *Array {
+func NewArray(valueSize, n int) (*Array, error) {
 	if valueSize <= 0 || n <= 0 {
-		panic("maps: NewArray: sizes must be positive")
+		return nil, fmt.Errorf("%w: array %d x %d bytes", ErrConfig, n, valueSize)
 	}
-	return &Array{valueSize: valueSize, n: n, data: make([]byte, valueSize*n)}
+	if int64(valueSize)*int64(n) > maxMapBytes {
+		return nil, fmt.Errorf("%w: array %d x %d bytes exceeds memlock bound", ErrConfig, n, valueSize)
+	}
+	return &Array{valueSize: valueSize, n: n, data: make([]byte, valueSize*n)}, nil
 }
 
 func (a *Array) Type() Type      { return TypeArray }
@@ -102,7 +120,9 @@ func (a *Array) Update(key, value []byte) error {
 	}
 	idx := int(binary.LittleEndian.Uint32(key))
 	if idx >= a.n {
-		return ErrNoSpace
+		// An out-of-range index addresses no element: ENOENT, as
+		// bpf_map_update_elem returns for array maps.
+		return ErrNotFound
 	}
 	copy(a.data[idx*a.valueSize:], value)
 	return nil
@@ -110,6 +130,9 @@ func (a *Array) Update(key, value []byte) error {
 
 // Delete zeroes the element; array map entries cannot be removed.
 func (a *Array) Delete(key []byte) error {
+	if len(key) != 4 {
+		return ErrKeySize
+	}
 	v := a.Lookup(key)
 	if v == nil {
 		return ErrNotFound
@@ -133,15 +156,19 @@ type PerCPUArray struct {
 }
 
 // NewPerCPUArray creates a per-CPU array with ncpu private copies.
-func NewPerCPUArray(valueSize, n, ncpu int) *PerCPUArray {
-	if ncpu <= 0 {
-		panic("maps: NewPerCPUArray: ncpu must be positive")
+func NewPerCPUArray(valueSize, n, ncpu int) (*PerCPUArray, error) {
+	if ncpu <= 0 || ncpu > 4096 {
+		return nil, fmt.Errorf("%w: percpu_array over %d cpus", ErrConfig, ncpu)
 	}
 	p := &PerCPUArray{per: make([]*Array, ncpu)}
 	for i := range p.per {
-		p.per[i] = NewArray(valueSize, n)
+		a, err := NewArray(valueSize, n)
+		if err != nil {
+			return nil, err
+		}
+		p.per[i] = a
 	}
-	return p
+	return p, nil
 }
 
 // SetCPU selects which per-CPU copy subsequent operations address.
@@ -186,13 +213,17 @@ type Hash struct {
 
 // NewHash creates a hash map. Capacity is rounded up so the table stays
 // below ~85% occupancy at maxEntries.
-func NewHash(keySize, valueSize, maxEntries int) *Hash {
+func NewHash(keySize, valueSize, maxEntries int) (*Hash, error) {
 	if keySize <= 0 || valueSize <= 0 || maxEntries <= 0 {
-		panic("maps: NewHash: sizes must be positive")
+		return nil, fmt.Errorf("%w: hash %dB keys, %dB values, %d entries",
+			ErrConfig, keySize, valueSize, maxEntries)
 	}
 	slots := 8
 	for slots < maxEntries*6/5+1 {
 		slots <<= 1
+	}
+	if int64(slots)*int64(keySize) > maxMapBytes || int64(slots)*int64(valueSize) > maxMapBytes {
+		return nil, fmt.Errorf("%w: hash of %d entries exceeds memlock bound", ErrConfig, maxEntries)
 	}
 	return &Hash{
 		keySize: keySize, valueSize: valueSize, maxEntries: maxEntries,
@@ -200,7 +231,7 @@ func NewHash(keySize, valueSize, maxEntries int) *Hash {
 		keys:  make([]byte, slots*keySize),
 		vals:  make([]byte, slots*valueSize),
 		mask:  uint64(slots - 1),
-	}
+	}, nil
 }
 
 func (h *Hash) Type() Type      { return TypeHash }
@@ -337,8 +368,11 @@ type LRUHash struct {
 }
 
 // NewLRUHash creates an LRU hash map with the given capacity.
-func NewLRUHash(keySize, valueSize, maxEntries int) *LRUHash {
-	h := NewHash(keySize, valueSize, maxEntries)
+func NewLRUHash(keySize, valueSize, maxEntries int) (*LRUHash, error) {
+	h, err := NewHash(keySize, valueSize, maxEntries)
+	if err != nil {
+		return nil, err
+	}
 	n := len(h.state)
 	l := &LRUHash{
 		h:      h,
@@ -348,7 +382,7 @@ func NewLRUHash(keySize, valueSize, maxEntries int) *LRUHash {
 		tail:   -1,
 		slotOf: make(map[string]int32, maxEntries),
 	}
-	return l
+	return l, nil
 }
 
 func (l *LRUHash) Type() Type      { return TypeLRUHash }

@@ -22,7 +22,7 @@ func TestSoundnessFuzz(t *testing.T) {
 	for seed := int64(0); seed < trials; seed++ {
 		rng := rand.New(rand.NewSource(seed))
 		machine := vm.New()
-		fd := machine.RegisterMap(maps.NewArray(32, 4))
+		fd := machine.RegisterMap(maps.Must(maps.NewArray(32, 4)))
 		b := asm.New()
 		regs := []isa.Reg{asm.R0, asm.R1, asm.R2, asm.R3, asm.R6, asm.R7, asm.R8}
 		// Seed every register and a few stack slots so generated reads

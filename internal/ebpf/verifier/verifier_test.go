@@ -14,7 +14,7 @@ import (
 func newVMWithMap(t *testing.T) (*vm.VM, int32) {
 	t.Helper()
 	m := vm.New()
-	fd := m.RegisterMap(maps.NewArray(24, 8))
+	fd := m.RegisterMap(maps.Must(maps.NewArray(24, 8)))
 	return m, fd
 }
 

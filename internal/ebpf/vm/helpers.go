@@ -205,6 +205,9 @@ func registerBuiltinHelpers(vm *VM) {
 		if size <= 0 || size > 1<<20 {
 			return 0, fmt.Errorf("obj_new: bad size %d", size)
 		}
+		if vm.allocFault != nil && vm.allocFault() {
+			return 0, nil // allocation failure: NULL, programs must check
+		}
 		return vm.AllocMem(NodeHeaderSize + size), nil
 	})
 	vm.RegisterHelper(HelperObjDrop, func(vm *VM, a1, _, _, _, _ uint64) (uint64, error) {

@@ -66,6 +66,14 @@ type KfuncMeta struct {
 	// ReleaseArg (KF_RELEASE): 1-based argument index whose reference is
 	// consumed by this call; 0 = none.
 	ReleaseArg int
+
+	// ErrInject (ALLOW_ERROR_INJECTION): this kfunc's failure path may
+	// be triggered by the fault plane. Only kfuncs whose error returns
+	// programs are already forced to handle (MayBeNull allocations,
+	// capacity-bounded inserts) are tagged; skipping an acquire/release
+	// pair would corrupt the reference protocol, exactly why the kernel
+	// makes error injection opt-in per function.
+	ErrInject bool
 }
 
 // KfuncImpl is a native kfunc implementation.
@@ -94,6 +102,14 @@ func (vm *VM) callKfunc(id int32, r *[11]uint64) error {
 	k, ok := vm.kfuncs[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoKfunc, id)
+	}
+	if ff := vm.kfuncFault; ff != nil && k.Meta.ErrInject {
+		if ret, fire := ff(k); fire {
+			// Injected failure: the kfunc body never runs, R0 gets the
+			// error value. The caller still clobbers R1-R5.
+			r[0] = ret
+			return nil
+		}
 	}
 	if ps := vm.curProg; ps != nil {
 		start := time.Now()

@@ -91,7 +91,7 @@ func TestStatsExactAccounting(t *testing.T) {
 			name: "map_ops",
 			build: func(t *testing.T) (*vm.VM, *vm.Program) {
 				m := vm.New()
-				fd := m.RegisterMap(maps.NewArray(8, 4))
+				fd := m.RegisterMap(maps.Must(maps.NewArray(8, 4)))
 				bb := asm.New()
 				bb.StoreImm(asm.R10, -4, 1, 4) // in-range key
 				bb.LoadMap(asm.R1, fd)
@@ -189,7 +189,7 @@ func TestStatsExactAccounting(t *testing.T) {
 
 func TestStatsMapCounters(t *testing.T) {
 	m := vm.New()
-	fd := m.RegisterMap(maps.NewHash(4, 8, 16))
+	fd := m.RegisterMap(maps.Must(maps.NewHash(4, 8, 16)))
 	st := m.EnableStats()
 
 	bb := asm.New()

@@ -13,6 +13,7 @@ package vm
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"enetstl/internal/ebpf/isa"
@@ -67,6 +68,10 @@ var (
 	ErrLockRequired  = errors.New("vm: list operation without spin lock held")
 	ErrLockImbalance = errors.New("vm: spin lock imbalance at exit")
 	ErrBadHandle     = errors.New("vm: invalid kernel object handle")
+	// ErrRuntimeFault wraps a panic raised inside the interpreter or a
+	// native kfunc/helper: the analogue of a kernel oops contained to the
+	// program, so a crashing program can never take down the harness.
+	ErrRuntimeFault = errors.New("vm: runtime fault")
 )
 
 // VM is one simulated eBPF execution environment (think: one CPU with a
@@ -111,6 +116,15 @@ type VM struct {
 	// counters so helper/kfunc dispatch can attribute call time.
 	stats   *Stats
 	curProg *ProgStats
+
+	// kfuncFault, when set, is consulted before dispatching any kfunc
+	// whose Meta.ErrInject is true (the ALLOW_ERROR_INJECTION surface).
+	// Returning (ret, true) short-circuits the call: the kfunc body
+	// never runs and R0 gets ret.
+	kfuncFault func(k *Kfunc) (uint64, bool)
+	// allocFault, when it returns true, makes HelperObjNew return NULL,
+	// the bpf_obj_new allocation-failure path.
+	allocFault func() bool
 }
 
 // New creates a VM with an empty map table and the built-in helpers.
@@ -240,15 +254,57 @@ func (vm *VM) mapPointer(fd int32) (uint64, bool) {
 }
 
 // SetCPU selects the logical CPU: per-CPU maps switch to that CPU's
-// private copy.
+// private copy. Decorators (maps.Faulty) are unwrapped so injection
+// wrappers don't hide the per-CPU switch.
 func (vm *VM) SetCPU(cpu int) {
 	vm.cpu = cpu
 	for _, m := range vm.mapsByFD {
-		if p, ok := m.(*maps.PerCPUArray); ok {
-			p.SetCPU(cpu)
+		for m != nil {
+			if p, ok := m.(*maps.PerCPUArray); ok {
+				p.SetCPU(cpu)
+				break
+			}
+			u, ok := m.(interface{ Unwrap() maps.ArenaMap })
+			if !ok {
+				break
+			}
+			m = u.Unwrap()
 		}
 	}
 }
+
+// WrapMaps rewrites every attached map through wrap, updating both the
+// FD table and the map-pointer regions loaded programs resolve through.
+// Returning the input (or nil) leaves that map untouched. The chaos
+// harness uses it to interpose maps.Faulty decorators after programs
+// are loaded; arena regions keep aliasing the original backing stores,
+// so existing value pointers stay valid.
+func (vm *VM) WrapMaps(wrap func(m maps.ArenaMap) maps.ArenaMap) {
+	for fd, m := range vm.mapsByFD {
+		w := wrap(m)
+		if w == nil || w == m {
+			continue
+		}
+		vm.mapsByFD[fd] = w
+		for id := 1; id < len(vm.regions); id++ {
+			if vm.regions[id].kind == regMap && vm.regions[id].m == m {
+				vm.regions[id].m = w
+			}
+		}
+	}
+}
+
+// SetKfuncFault installs (or clears, with nil) the error-injection hook
+// consulted before dispatching kfuncs tagged Meta.ErrInject.
+func (vm *VM) SetKfuncFault(fn func(k *Kfunc) (uint64, bool)) { vm.kfuncFault = fn }
+
+// SetAllocFault installs (or clears, with nil) the allocation-failure
+// hook for HelperObjNew.
+func (vm *VM) SetAllocFault(fn func() bool) { vm.allocFault = fn }
+
+// LockHeld returns the spin-lock depth (0 when balanced); the chaos
+// harness asserts it is zero after every packet.
+func (vm *VM) LockHeld() int { return vm.lockHeld }
 
 // SetClock sets the simulated monotonic clock returned by ktime_get_ns.
 func (vm *VM) SetClock(ns uint64) { vm.now = ns }
@@ -427,14 +483,28 @@ func (vm *VM) Load(name string, prog []isa.Instruction) (*Program, error) {
 // the program's R0 (the XDP verdict for datapath programs). With stats
 // attached it also accounts run_cnt/run_time_ns and per-instruction /
 // per-call counters; the disabled path adds only a nil check.
-func (vm *VM) Run(p *Program, ctx []byte) (uint64, error) {
+//
+// A panic escaping the interpreter or a native helper/kfunc is
+// contained here: the lock state is reset and the panic is returned as
+// ErrRuntimeFault, so a crashing program cannot take down the process
+// or leave the VM's spin lock wedged.
+func (vm *VM) Run(p *Program, ctx []byte) (ret uint64, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			vm.lockHeld = 0
+			atomic.StoreUint32(&vm.lockWord, 0)
+			vm.curProg = nil
+			ret = 0
+			err = fmt.Errorf("%w: program %q panicked: %v", ErrRuntimeFault, p.name, rec)
+		}
+	}()
 	if vm.stats == nil {
 		return vm.exec(p, ctx, nil)
 	}
 	ps := vm.stats.prog(p.name)
 	vm.curProg = ps
 	start := time.Now()
-	ret, err := vm.exec(p, ctx, ps)
+	ret, err = vm.exec(p, ctx, ps)
 	ps.RunCnt++
 	ps.RunTimeNs += uint64(time.Since(start).Nanoseconds())
 	vm.curProg = nil

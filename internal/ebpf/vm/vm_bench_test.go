@@ -53,7 +53,7 @@ func BenchmarkHelperCall(b *testing.B) {
 
 func BenchmarkMapLookupHelper(b *testing.B) {
 	m := vm.New()
-	fd := m.RegisterMap(maps.NewArray(8, 8))
+	fd := m.RegisterMap(maps.Must(maps.NewArray(8, 8)))
 	bb := asm.New()
 	bb.StoreImm(asm.R10, -4, 3, 4)
 	for i := 0; i < 16; i++ {
@@ -81,7 +81,7 @@ func BenchmarkMapLookupHelper(b *testing.B) {
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	build := func(b *testing.B) (*vm.VM, *vm.Program) {
 		m := vm.New()
-		fd := m.RegisterMap(maps.NewArray(8, 8))
+		fd := m.RegisterMap(maps.Must(maps.NewArray(8, 8)))
 		bb := asm.New()
 		bb.MovImm(asm.R0, 0)
 		bb.StoreImm(asm.R10, -4, 3, 4)

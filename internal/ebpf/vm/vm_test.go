@@ -35,7 +35,7 @@ func buildCounter(fd int32) []isa.Instruction {
 
 func TestRunCounterProgram(t *testing.T) {
 	m := vm.New()
-	arr := maps.NewArray(8, 8)
+	arr := maps.Must(maps.NewArray(8, 8))
 	fd := m.RegisterMap(arr)
 	prog, err := m.Load("counter", buildCounter(fd))
 	if err != nil {
@@ -166,7 +166,7 @@ func TestInstructionBudget(t *testing.T) {
 func TestSpinLockAndList(t *testing.T) {
 	m := vm.New()
 	// One array element: [lock u32, pad u32, head first u64, head last u64].
-	arr := maps.NewArray(24, 1)
+	arr := maps.Must(maps.NewArray(24, 1))
 	fd := m.RegisterMap(arr)
 
 	const nodeSize = 8
@@ -224,7 +224,7 @@ func TestSpinLockAndList(t *testing.T) {
 
 func TestListWithoutLockFails(t *testing.T) {
 	m := vm.New()
-	arr := maps.NewArray(24, 1)
+	arr := maps.Must(maps.NewArray(24, 1))
 	fd := m.RegisterMap(arr)
 	b := asm.New()
 	b.StoreImm(asm.R10, -4, 0, 4)
@@ -304,7 +304,7 @@ func TestKfuncDispatchAndHandles(t *testing.T) {
 
 func TestPerCPUMapIsolation(t *testing.T) {
 	m := vm.New()
-	pc := maps.NewPerCPUArray(8, 4, 2)
+	pc := maps.Must(maps.NewPerCPUArray(8, 4, 2))
 	fd := m.RegisterMap(pc)
 	prog, err := m.Load("counter", buildCounter(fd))
 	if err != nil {
@@ -327,7 +327,7 @@ func TestPerCPUMapIsolation(t *testing.T) {
 
 func TestLockImbalanceAtExit(t *testing.T) {
 	m := vm.New()
-	arr := maps.NewArray(24, 1)
+	arr := maps.Must(maps.NewArray(24, 1))
 	fd := m.RegisterMap(arr)
 	b := asm.New()
 	b.StoreImm(asm.R10, -4, 0, 4)

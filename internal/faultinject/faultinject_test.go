@@ -1,0 +1,148 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"enetstl/internal/telemetry"
+)
+
+func firePattern(seed uint64, sched Schedule, n int) []bool {
+	p := New(seed)
+	s := p.Arm("t", sched)
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = s.Fire()
+	}
+	return out
+}
+
+func TestNilAndDisarmedSitesNeverFire(t *testing.T) {
+	var nilSite *Site
+	if nilSite.Fire() {
+		t.Fatal("nil site fired")
+	}
+	p := New(1)
+	s := p.Site("quiet")
+	for i := 0; i < 100; i++ {
+		if s.Fire() {
+			t.Fatal("disarmed site fired")
+		}
+	}
+	if s.Evaluated() != 0 {
+		t.Fatalf("disarmed site counted evaluations: %d", s.Evaluated())
+	}
+	// Arming with an inactive schedule stays quiet too.
+	s = p.Arm("quiet", Schedule{})
+	if s.Fire() {
+		t.Fatal("zero-schedule site fired")
+	}
+}
+
+func TestEveryNth(t *testing.T) {
+	pat := firePattern(7, Schedule{EveryNth: 3}, 9)
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pat[i] != want[i] {
+			t.Fatalf("call %d: got %v, want %v", i+1, pat[i], want[i])
+		}
+	}
+}
+
+func TestAfterN(t *testing.T) {
+	pat := firePattern(7, Schedule{AfterN: 4}, 8)
+	for i, fired := range pat {
+		want := i >= 4
+		if fired != want {
+			t.Fatalf("call %d: got %v, want %v", i+1, fired, want)
+		}
+	}
+}
+
+func TestProbDeterministicAndRoughlyCalibrated(t *testing.T) {
+	const n = 20000
+	a := firePattern(42, Schedule{Prob: 0.1}, n)
+	b := firePattern(42, Schedule{Prob: 0.1}, n)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at call %d", i+1)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits < n/20 || hits > n/5 {
+		t.Fatalf("p=0.1 fired %d/%d times", hits, n)
+	}
+	c := firePattern(43, Schedule{Prob: 0.1}, n)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestCountersAndPublish(t *testing.T) {
+	p := New(9)
+	s := p.Arm(SiteMapUpdate, Schedule{EveryNth: 2})
+	for i := 0; i < 10; i++ {
+		s.Fire()
+	}
+	if got := s.Evaluated(); got != 10 {
+		t.Fatalf("evaluated = %d, want 10", got)
+	}
+	if got := s.Injected(); got != 5 {
+		t.Fatalf("injected = %d, want 5", got)
+	}
+	if p.Injected() != 5 || p.Evaluated() != 10 {
+		t.Fatalf("plane totals = %d/%d", p.Injected(), p.Evaluated())
+	}
+	reg := telemetry.NewRegistry()
+	p.Publish(reg)
+	text := reg.Text()
+	if !strings.Contains(text, `fault_site_injected_total{site="map_update"} 5`) {
+		t.Fatalf("exposition missing injected counter:\n%s", text)
+	}
+	if !strings.Contains(text, `fault_site_evaluated_total{site="map_update"} 10`) {
+		t.Fatalf("exposition missing evaluated counter:\n%s", text)
+	}
+}
+
+func TestRearmResetsStream(t *testing.T) {
+	p := New(5)
+	s := p.Arm("x", Schedule{EveryNth: 2})
+	first := []bool{s.Fire(), s.Fire(), s.Fire()}
+	s = p.Arm("x", Schedule{EveryNth: 2})
+	second := []bool{s.Fire(), s.Fire(), s.Fire()}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("re-armed stream diverged at %d", i)
+		}
+	}
+}
+
+// BenchmarkFireDisarmed pins the cost of a disarmed site on a hot
+// path: one atomic load. BenchmarkFireNil pins the nil-site fast path
+// surfaces use before a chaos run ever arms them.
+func BenchmarkFireDisarmed(b *testing.B) {
+	s := New(1).Site(SiteMapLookup)
+	for i := 0; i < b.N; i++ {
+		if s.Fire() {
+			b.Fatal("disarmed site fired")
+		}
+	}
+}
+
+func BenchmarkFireNil(b *testing.B) {
+	var s *Site
+	for i := 0; i < b.N; i++ {
+		if s.Fire() {
+			b.Fatal("nil site fired")
+		}
+	}
+}

@@ -17,6 +17,46 @@ import (
 	"enetstl/internal/telemetry"
 )
 
+// VerdictCounts tallies the verdicts returned over the measured
+// trials, keyed by the XDP action codes datapath NFs return. NFs with
+// op-style result codes (e.g. skiplist's found/deleted verdicts) land
+// in the bucket matching their numeric value, or Other — the tally is
+// still useful there as a cheap behavioural fingerprint: a fault that
+// silently flips outcomes shows up as a shifted distribution.
+type VerdictCounts struct {
+	Aborted uint64 // 0: XDP_ABORTED — datapath bug or injected fault escape
+	Drop    uint64 // 1: XDP_DROP — includes graceful sheds under faults
+	Pass    uint64 // 2: XDP_PASS
+	Tx      uint64 // 3: XDP_TX
+	Other   uint64 // anything above 3
+}
+
+// Count tallies one verdict.
+func (v *VerdictCounts) Count(verdict uint64) {
+	switch verdict {
+	case uint64(vm.XDPAborted):
+		v.Aborted++
+	case uint64(vm.XDPDrop):
+		v.Drop++
+	case uint64(vm.XDPPass):
+		v.Pass++
+	case uint64(vm.XDPTx):
+		v.Tx++
+	default:
+		v.Other++
+	}
+}
+
+// Total returns the number of verdicts counted.
+func (v VerdictCounts) Total() uint64 {
+	return v.Aborted + v.Drop + v.Pass + v.Tx + v.Other
+}
+
+func (v VerdictCounts) String() string {
+	return fmt.Sprintf("aborted=%d drop=%d pass=%d tx=%d other=%d",
+		v.Aborted, v.Drop, v.Pass, v.Tx, v.Other)
+}
+
 // Result is one throughput measurement.
 type Result struct {
 	Name    string
@@ -25,6 +65,9 @@ type Result struct {
 	PPS     float64 // mean packets per second
 	PPSStd  float64
 	NsPerOp float64 // mean per-packet processing time
+	// Verdicts tallies the verdicts returned across all measured
+	// trials (the warm-up pass is excluded).
+	Verdicts VerdictCounts
 	// Stats is a snapshot of the backing VM's accumulated program
 	// counters, when the instance is VM-backed and stats are enabled.
 	Stats *vm.ProgStats
@@ -36,7 +79,8 @@ func (r Result) String() string {
 }
 
 // Throughput replays the trace through inst `trials` times (after one
-// warm-up pass) and reports mean PPS with standard deviation.
+// warm-up pass) and reports mean PPS with standard deviation, plus a
+// tally of the verdicts returned across the measured trials.
 func Throughput(inst nf.Instance, trace *pktgen.Trace, trials int) (Result, error) {
 	if trials <= 0 {
 		trials = 3
@@ -45,21 +89,26 @@ func Throughput(inst nf.Instance, trace *pktgen.Trace, trials int) (Result, erro
 	if n == 0 {
 		return Result{}, fmt.Errorf("harness: empty trace")
 	}
-	run := func() (float64, error) {
+	run := func(verdicts *VerdictCounts) (float64, error) {
 		start := time.Now()
 		for i := range trace.Packets {
-			if _, err := inst.Process(trace.Packets[i][:]); err != nil {
+			v, err := inst.Process(trace.Packets[i][:])
+			if err != nil {
 				return 0, fmt.Errorf("%s/%s: packet %d: %w", inst.Name(), inst.Flavor(), i, err)
+			}
+			if verdicts != nil {
+				verdicts.Count(v)
 			}
 		}
 		return time.Since(start).Seconds(), nil
 	}
-	if _, err := run(); err != nil { // warm-up
+	if _, err := run(nil); err != nil { // warm-up, not tallied
 		return Result{}, err
 	}
+	var verdicts VerdictCounts
 	pps := make([]float64, trials)
 	for t := range pps {
-		secs, err := run()
+		secs, err := run(&verdicts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -69,7 +118,8 @@ func Throughput(inst nf.Instance, trace *pktgen.Trace, trials int) (Result, erro
 	return Result{
 		Name: inst.Name(), Flavor: inst.Flavor().String(), Trials: trials,
 		PPS: mean, PPSStd: std, NsPerOp: 1e9 / mean,
-		Stats: vmStats(inst),
+		Verdicts: verdicts,
+		Stats:    vmStats(inst),
 	}, nil
 }
 

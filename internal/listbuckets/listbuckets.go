@@ -7,9 +7,17 @@
 // one object). A non-empty bitmap provides O(n/64) first-bucket scans.
 package listbuckets
 
-import "enetstl/internal/bitops"
+import (
+	"errors"
+	"fmt"
+
+	"enetstl/internal/bitops"
+)
 
 const nilIdx = -1
+
+// ErrConfig reports an invalid list-buckets configuration.
+var ErrConfig = errors.New("listbuckets: invalid configuration")
 
 // ListBuckets is a set of n element queues with fixed-size elements,
 // backed by a slab with a free list so steady-state operation does not
@@ -27,11 +35,20 @@ type ListBuckets struct {
 	used int
 }
 
+// Must unwraps a New result, panicking on error; for call sites with
+// static, pre-validated sizes.
+func Must(lb *ListBuckets, err error) *ListBuckets {
+	if err != nil {
+		panic(err)
+	}
+	return lb
+}
+
 // New creates nBuckets queues holding elemSize-byte elements, with
 // capacity for cap elements across all buckets before the slab grows.
-func New(nBuckets, elemSize, capacity int) *ListBuckets {
+func New(nBuckets, elemSize, capacity int) (*ListBuckets, error) {
 	if nBuckets <= 0 || elemSize <= 0 {
-		panic("listbuckets: sizes must be positive")
+		return nil, fmt.Errorf("%w: %d buckets of %d-byte elements", ErrConfig, nBuckets, elemSize)
 	}
 	if capacity < 1 {
 		capacity = 1
@@ -49,7 +66,44 @@ func New(nBuckets, elemSize, capacity int) *ListBuckets {
 		lb.tails[i] = nilIdx
 	}
 	lb.grow(capacity)
-	return lb
+	return lb, nil
+}
+
+// CheckInvariants walks every bucket chain and audits the structure:
+// chain lengths must match the per-bucket counters and sum to the used
+// count, the occupancy bitmap must mirror non-emptiness, tails must be
+// reachable, and no chain may cycle. The chaos harness runs it after
+// every fault storm.
+func (lb *ListBuckets) CheckInvariants() error {
+	total := 0
+	for i := range lb.heads {
+		n := 0
+		last := int32(nilIdx)
+		for idx := lb.heads[i]; idx != nilIdx; idx = lb.next[idx] {
+			if idx < 0 || int(idx) >= len(lb.next) {
+				return fmt.Errorf("listbuckets: bucket %d links out of range (%d)", i, idx)
+			}
+			last = idx
+			n++
+			if n > lb.used {
+				return fmt.Errorf("listbuckets: bucket %d chain cycles", i)
+			}
+		}
+		if int32(n) != lb.lens[i] {
+			return fmt.Errorf("listbuckets: bucket %d walked %d elements, counter says %d", i, n, lb.lens[i])
+		}
+		if lb.tails[i] != last {
+			return fmt.Errorf("listbuckets: bucket %d tail %d unreachable (last is %d)", i, lb.tails[i], last)
+		}
+		if got, want := lb.occupied.Test(i), n > 0; got != want {
+			return fmt.Errorf("listbuckets: bucket %d occupancy bit %v, want %v", i, got, want)
+		}
+		total += n
+	}
+	if total != lb.used {
+		return fmt.Errorf("listbuckets: chains hold %d elements, used counter says %d", total, lb.used)
+	}
+	return nil
 }
 
 // NumBuckets returns the number of queues.

@@ -5,7 +5,7 @@ import "testing"
 // Component-level list-buckets benchmarks (Table 2's list-buckets row).
 
 func BenchmarkPushPop(b *testing.B) {
-	lb := New(1024, 16, 2048)
+	lb := Must(New(1024, 16, 2048))
 	var e [16]byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -15,7 +15,7 @@ func BenchmarkPushPop(b *testing.B) {
 }
 
 func BenchmarkInsertFront(b *testing.B) {
-	lb := New(64, 16, 2048)
+	lb := Must(New(64, 16, 2048))
 	var e [16]byte
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -31,7 +31,7 @@ func BenchmarkInsertFront(b *testing.B) {
 }
 
 func BenchmarkFirstNonEmpty(b *testing.B) {
-	lb := New(4096, 8, 16)
+	lb := Must(New(4096, 8, 16))
 	lb.PushBack(4000, make([]byte, 8))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestFIFOOrder(t *testing.T) {
-	lb := New(4, 8, 16)
+	lb := Must(New(4, 8, 16))
 	for i := 0; i < 10; i++ {
 		var e [8]byte
 		binary.LittleEndian.PutUint64(e[:], uint64(i))
@@ -30,7 +30,7 @@ func TestFIFOOrder(t *testing.T) {
 }
 
 func TestLIFOOrder(t *testing.T) {
-	lb := New(4, 8, 16)
+	lb := Must(New(4, 8, 16))
 	for i := 0; i < 5; i++ {
 		var e [8]byte
 		binary.LittleEndian.PutUint64(e[:], uint64(i))
@@ -48,7 +48,7 @@ func TestLIFOOrder(t *testing.T) {
 }
 
 func TestBucketsIndependent(t *testing.T) {
-	lb := New(8, 4, 4)
+	lb := Must(New(8, 4, 4))
 	lb.PushBack(1, []byte{1, 0, 0, 0})
 	lb.PushBack(5, []byte{5, 0, 0, 0})
 	var e [4]byte
@@ -61,7 +61,7 @@ func TestBucketsIndependent(t *testing.T) {
 }
 
 func TestOccupancyBitmap(t *testing.T) {
-	lb := New(128, 4, 8)
+	lb := Must(New(128, 4, 8))
 	if got := lb.FirstNonEmpty(0); got != -1 {
 		t.Fatalf("FirstNonEmpty on empty = %d", got)
 	}
@@ -80,7 +80,7 @@ func TestOccupancyBitmap(t *testing.T) {
 }
 
 func TestPeekDoesNotConsume(t *testing.T) {
-	lb := New(2, 4, 2)
+	lb := Must(New(2, 4, 2))
 	lb.PushBack(0, []byte{9, 9, 9, 9})
 	var a, b [4]byte
 	if !lb.PeekFront(0, a[:]) || !lb.PeekFront(0, b[:]) {
@@ -92,7 +92,7 @@ func TestPeekDoesNotConsume(t *testing.T) {
 }
 
 func TestDrain(t *testing.T) {
-	lb := New(2, 4, 2)
+	lb := Must(New(2, 4, 2))
 	for i := 0; i < 5; i++ {
 		lb.PushBack(1, []byte{byte(i), 0, 0, 0})
 	}
@@ -110,7 +110,7 @@ func TestDrain(t *testing.T) {
 }
 
 func TestSlabGrowsAndRecycles(t *testing.T) {
-	lb := New(1, 8, 2)
+	lb := Must(New(1, 8, 2))
 	var e [8]byte
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 100; i++ {
@@ -133,7 +133,7 @@ func TestModelEquivalence(t *testing.T) {
 	if err := quick.Check(func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		const nb = 8
-		lb := New(nb, 8, 4)
+		lb := Must(New(nb, 8, 4))
 		model := make([][][8]byte, nb)
 		for op := 0; op < 500; op++ {
 			i := rng.Intn(nb)

@@ -19,11 +19,13 @@ import (
 
 // Errors returned by wrapper operations.
 var (
-	ErrFreed      = errors.New("memwrapper: operation on freed node")
-	ErrBadSlot    = errors.New("memwrapper: out-slot index out of range")
-	ErrWrongProxy = errors.New("memwrapper: node belongs to a different proxy")
-	ErrStaleEdge  = errors.New("memwrapper: traversal of invalidated edge (eager check)")
-	ErrNotOwned   = errors.New("memwrapper: node is not owned by the proxy")
+	ErrFreed       = errors.New("memwrapper: operation on freed node")
+	ErrBadSlot     = errors.New("memwrapper: out-slot index out of range")
+	ErrWrongProxy  = errors.New("memwrapper: node belongs to a different proxy")
+	ErrStaleEdge   = errors.New("memwrapper: traversal of invalidated edge (eager check)")
+	ErrNotOwned    = errors.New("memwrapper: node is not owned by the proxy")
+	ErrAllocFailed = errors.New("memwrapper: node allocation failed")
+	ErrConfig      = errors.New("memwrapper: sizes must be positive")
 )
 
 type inEdge struct {
@@ -78,6 +80,11 @@ type Proxy struct {
 	// core facade uses it to retire the node's VM region).
 	OnFree func(*Node)
 
+	// FailAlloc, when it returns true, makes Alloc fail with
+	// ErrAllocFailed — the fault plane's hook into the kernel's
+	// allocation-failure surface (bpf_obj_new returning NULL).
+	FailAlloc func() bool
+
 	liveNodes int
 	allocs    int
 	frees     int
@@ -90,15 +97,24 @@ type edgeKey struct {
 
 // NewProxy creates a proxy managing nodes with dataSize-byte payloads
 // and at most maxOuts out-slots each.
-func NewProxy(dataSize, maxOuts int) *Proxy {
+func NewProxy(dataSize, maxOuts int) (*Proxy, error) {
 	if dataSize <= 0 || maxOuts <= 0 {
-		panic("memwrapper: NewProxy: sizes must be positive")
+		return nil, fmt.Errorf("%w: %d-byte payload, %d out-slots", ErrConfig, dataSize, maxOuts)
 	}
 	return &Proxy{
 		dataSize:  dataSize,
 		maxOuts:   maxOuts,
 		liveEdges: make(map[edgeKey]struct{}),
+	}, nil
+}
+
+// Must unwraps a NewProxy result, panicking on error; for call sites
+// with static, pre-validated sizes.
+func Must(p *Proxy, err error) *Proxy {
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
 
 // DataSize returns the payload size of nodes from this proxy.
@@ -118,6 +134,9 @@ func (p *Proxy) Stats() (allocs, frees int) { return p.allocs, p.frees }
 func (p *Proxy) Alloc(nOuts int) (*Node, error) {
 	if nOuts < 0 || nOuts > p.maxOuts {
 		return nil, fmt.Errorf("%w: %d (max %d)", ErrBadSlot, nOuts, p.maxOuts)
+	}
+	if p.FailAlloc != nil && p.FailAlloc() {
+		return nil, ErrAllocFailed
 	}
 	n := &Node{
 		proxy: p,
@@ -261,6 +280,37 @@ func (p *Proxy) removeEdge(pred *Node, slot int, succ *Node) {
 			return
 		}
 	}
+}
+
+// CheckInvariants audits the proxy's bookkeeping: every recorded live
+// edge must run between unfreed nodes and still be present in the
+// predecessor's out-slot, and the live-node count must reconcile with
+// the alloc/free totals. The chaos harness runs it after every fault
+// storm; a non-nil return means the lazy safety invariant broke.
+func (p *Proxy) CheckInvariants() error {
+	for e := range p.liveEdges {
+		if e.pred == nil || e.pred.freed {
+			return fmt.Errorf("memwrapper: live edge from freed node (slot %d)", e.slot)
+		}
+		if e.slot < 0 || e.slot >= len(e.pred.outs) {
+			return fmt.Errorf("memwrapper: live edge with out-of-range slot %d", e.slot)
+		}
+		succ := e.pred.outs[e.slot]
+		if succ == nil {
+			return fmt.Errorf("memwrapper: live edge (slot %d) not present in out-slot", e.slot)
+		}
+		if succ.freed {
+			return fmt.Errorf("memwrapper: out-slot %d points at freed node", e.slot)
+		}
+	}
+	if p.liveNodes < 0 {
+		return fmt.Errorf("memwrapper: negative live-node count %d", p.liveNodes)
+	}
+	if p.allocs-p.frees != p.liveNodes {
+		return fmt.Errorf("memwrapper: live count %d != allocs %d - frees %d",
+			p.liveNodes, p.allocs, p.frees)
+	}
+	return nil
 }
 
 func (p *Proxy) maybeFree(n *Node) {

@@ -7,7 +7,7 @@ import "testing"
 // alloc/free cycle cost.
 
 func buildChain(eager bool, n int) (*Proxy, *Node) {
-	p := NewProxy(32, 1)
+	p := Must(NewProxy(32, 1))
 	p.Eager = eager
 	head, _ := p.Alloc(1)
 	p.SetOwner(head)
@@ -59,7 +59,7 @@ func BenchmarkTraverseEager(b *testing.B) {
 }
 
 func BenchmarkAllocConnectFree(b *testing.B) {
-	p := NewProxy(32, 1)
+	p := Must(NewProxy(32, 1))
 	anchor, _ := p.Alloc(1)
 	p.SetOwner(anchor)
 	b.ResetTimer()

@@ -15,7 +15,7 @@ func alloc(t *testing.T, p *Proxy, outs int) *Node {
 
 func TestListAddPattern(t *testing.T) {
 	// The Listing 3 pattern: alloc, set_owner, connect, release.
-	p := NewProxy(16, 1)
+	p := Must(NewProxy(16, 1))
 	head := alloc(t, p, 1)
 	if err := p.SetOwner(head); err != nil {
 		t.Fatal(err)
@@ -82,7 +82,7 @@ func TestListAddPattern(t *testing.T) {
 func TestLazyInvalidationOnFree(t *testing.T) {
 	// Free b without disconnecting a->b: a's slot must become nil, never
 	// dangling (the §4.2 use-after-free scenario).
-	p := NewProxy(8, 2)
+	p := Must(NewProxy(8, 2))
 	a := alloc(t, p, 2)
 	b := alloc(t, p, 2)
 	if err := p.Connect(a, 0, b); err != nil {
@@ -104,7 +104,7 @@ func TestLazyInvalidationOnFree(t *testing.T) {
 }
 
 func TestRefcountKeepsNodeAlive(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	a := alloc(t, p, 1)
 	b := alloc(t, p, 1)
 	p.Connect(a, 0, b)
@@ -127,7 +127,7 @@ func TestRefcountKeepsNodeAlive(t *testing.T) {
 }
 
 func TestOwnershipBlocksFree(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	n := alloc(t, p, 1)
 	p.SetOwner(n)
 	p.Release(n)
@@ -143,7 +143,7 @@ func TestOwnershipBlocksFree(t *testing.T) {
 }
 
 func TestConnectOverwriteUpdatesReverseEdges(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	a := alloc(t, p, 1)
 	b := alloc(t, p, 1)
 	c := alloc(t, p, 1)
@@ -160,7 +160,7 @@ func TestConnectOverwriteUpdatesReverseEdges(t *testing.T) {
 }
 
 func TestDisconnect(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	a := alloc(t, p, 1)
 	b := alloc(t, p, 1)
 	p.Connect(a, 0, b)
@@ -177,7 +177,7 @@ func TestDisconnect(t *testing.T) {
 }
 
 func TestFreedNodeOperationsFail(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	a := alloc(t, p, 1)
 	b := alloc(t, p, 1)
 	p.Release(b)
@@ -193,8 +193,8 @@ func TestFreedNodeOperationsFail(t *testing.T) {
 }
 
 func TestWrongProxyRejected(t *testing.T) {
-	p1 := NewProxy(8, 1)
-	p2 := NewProxy(8, 1)
+	p1 := Must(NewProxy(8, 1))
+	p2 := Must(NewProxy(8, 1))
 	a := alloc(t, p1, 1)
 	if err := p2.Release(a); err == nil {
 		t.Fatal("cross-proxy release succeeded")
@@ -202,7 +202,7 @@ func TestWrongProxyRejected(t *testing.T) {
 }
 
 func TestEagerModeDetectsNothingWhenCorrect(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	p.Eager = true
 	a := alloc(t, p, 1)
 	b := alloc(t, p, 1)
@@ -216,7 +216,7 @@ func TestEagerModeDetectsNothingWhenCorrect(t *testing.T) {
 }
 
 func TestBadSlotErrors(t *testing.T) {
-	p := NewProxy(8, 2)
+	p := Must(NewProxy(8, 2))
 	a := alloc(t, p, 1)
 	if _, err := p.Alloc(3); err == nil {
 		t.Fatal("alloc beyond MaxOuts succeeded")
@@ -230,7 +230,7 @@ func TestBadSlotErrors(t *testing.T) {
 }
 
 func TestOnFreeHook(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	var freed []*Node
 	p.OnFree = func(n *Node) { freed = append(freed, n) }
 	a := alloc(t, p, 1)
@@ -241,7 +241,7 @@ func TestOnFreeHook(t *testing.T) {
 }
 
 func TestStats(t *testing.T) {
-	p := NewProxy(8, 1)
+	p := Must(NewProxy(8, 1))
 	a := alloc(t, p, 1)
 	_ = alloc(t, p, 1)
 	p.Release(a)

@@ -79,7 +79,7 @@ func New(flavor nf.Flavor, cfg Config) (*Filter, error) {
 		return f, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		f.arr = maps.NewArray(cfg.Bits/8, 1)
+		f.arr = maps.Must(maps.NewArray(cfg.Bits/8, 1))
 		fd := machine.RegisterMap(f.arr)
 		var b *asm.Builder
 		if flavor == nf.EBPF {

@@ -81,7 +81,7 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		s.arr = maps.NewArray(cfg.Rows*cfg.Width*4, 1)
+		s.arr = maps.Must(maps.NewArray(cfg.Rows*cfg.Width*4, 1))
 		fd := machine.RegisterMap(s.arr)
 		var b *asm.Builder
 		if flavor == nf.EBPF {

@@ -84,7 +84,7 @@ func New(flavor nf.Flavor, cfg Config) (*Filter, error) {
 		return f, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		f.arr = maps.NewArray(bucketSize, cfg.Buckets)
+		f.arr = maps.Must(maps.NewArray(bucketSize, cfg.Buckets))
 		fd := machine.RegisterMap(f.arr)
 		var b *asm.Builder
 		if flavor == nf.EBPF {

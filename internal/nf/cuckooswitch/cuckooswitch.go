@@ -98,7 +98,7 @@ func New(flavor nf.Flavor, cfg Config) (*Switch, error) {
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		s.arr = maps.NewArray(bucketSize, cfg.Buckets)
+		s.arr = maps.Must(maps.NewArray(bucketSize, cfg.Buckets))
 		fd := machine.RegisterMap(s.arr)
 		var b *asm.Builder
 		if flavor == nf.EBPF {

@@ -85,7 +85,7 @@ func New(flavor nf.Flavor, cfg Config) (*Table, error) {
 		return t, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		t.arr = maps.NewArray(2*cfg.Slots*4, 1)
+		t.arr = maps.Must(maps.NewArray(2*cfg.Slots*4, 1))
 		fd := machine.RegisterMap(t.arr)
 		if flavor == nf.ENetSTL {
 			core.Attach(machine, core.Config{})

@@ -79,7 +79,7 @@ func New(flavor nf.Flavor, cfg Config) (*EDF, error) {
 		return e, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		e.arr = maps.NewArray(GroupWords*4, cfg.Groups)
+		e.arr = maps.Must(maps.NewArray(GroupWords*4, cfg.Groups))
 		data := e.arr.Data()
 		for i, v := range e.table {
 			binary.LittleEndian.PutUint32(data[i*4:], v)

@@ -43,10 +43,11 @@ func (c Config) validate() error {
 }
 
 // Verdicts: enqueue returns Enqueued; dequeue returns FoundBase+prio or
-// Empty.
+// Empty. Empty is XDP_DROP, not 0: an empty queue is a normal outcome
+// (and the steady state when faults shed enqueues), never an abort.
 const (
 	Enqueued  = vm.XDPPass
-	Empty     = 0
+	Empty     = vm.XDPDrop
 	FoundBase = 1000
 )
 
@@ -98,7 +99,7 @@ func New(flavor nf.Flavor, cfg Config) (*Queue, error) {
 		return q, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		q.arr = maps.NewArray(q.lay.size, 1)
+		q.arr = maps.Must(maps.NewArray(q.lay.size, 1))
 		fd := machine.RegisterMap(q.arr)
 		if flavor == nf.ENetSTL {
 			core.Attach(machine, core.Config{})

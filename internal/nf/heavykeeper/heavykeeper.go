@@ -100,12 +100,12 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 	case nf.Kernel:
 		s.buf = make([]byte, bufSize(cfg))
 		fillDecayTable(s.buf)
-		s.pool = rpool.NewPool(poolSize, 0x517cc1b7)
+		s.pool = rpool.Must(rpool.NewPool(poolSize, 0x517cc1b7))
 		s.Instance = &nf.NativeInstance{NFName: "heavykeeper", Fn: s.updateNative}
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		s.arr = maps.NewArray(bufSize(cfg), 1)
+		s.arr = maps.Must(maps.NewArray(bufSize(cfg), 1))
 		fillDecayTable(s.arr.Data())
 		fd := machine.RegisterMap(s.arr)
 		var b *asm.Builder
@@ -113,9 +113,9 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 			b = buildProgram(fd, 0, cfg, false)
 		} else {
 			lib := core.Attach(machine, core.Config{})
-			state := maps.NewArray(8, 1)
+			state := maps.Must(maps.NewArray(8, 1))
 			sFD := machine.RegisterMap(state)
-			binary.LittleEndian.PutUint64(state.Data(), lib.NewPoolHandle(poolSize, 0x517cc1b7))
+			binary.LittleEndian.PutUint64(state.Data(), core.MustHandle(lib.NewPoolHandle(poolSize, 0x517cc1b7)))
 			b = buildProgram(fd, sFD, cfg, true)
 		}
 		ins, err := b.Program()
@@ -297,3 +297,8 @@ func buildProgram(fd, sFD int32, cfg Config, enetstl bool) *asm.Builder {
 	b.Exit()
 	return b
 }
+
+// Pool exposes the Kernel flavour's randomness pool (nil for the
+// bytecode flavours, whose pools live behind eNetSTL handles). Chaos
+// harnesses use it to inject refill faults.
+func (s *Sketch) Pool() *rpool.Pool { return s.pool }

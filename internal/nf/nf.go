@@ -87,6 +87,10 @@ func NewVMInstance(name string, flavor Flavor, machine *vm.VM, prog *vm.Program)
 // Name returns the NF name.
 func (v *VMInstance) Name() string { return v.name }
 
+// VM exposes the backing machine so harnesses (chaos, stats) can
+// instrument it. Promoted through NFs that embed an Instance.
+func (v *VMInstance) VM() *vm.VM { return v.Machine }
+
 // Flavor returns the implementation flavour.
 func (v *VMInstance) Flavor() Flavor { return v.flavor }
 

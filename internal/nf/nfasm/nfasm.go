@@ -93,8 +93,10 @@ func EmitSoftCTZ64(b *asm.Builder, src, dst, t, c isa.Reg) {
 
 // EmitMapLookupOrExit emits: key (4-byte index) from idxReg to stack at
 // keyOff, bpf_map_lookup_elem(fd), null-checked; on miss the program
-// exits with XDP_ABORTED. The value pointer is left in R0. Clobbers
-// R1-R5. idxReg must not be R1-R2.
+// sheds the packet with XDP_DROP — graceful degradation rather than
+// aborting the datapath, so an injected lookup miss cannot violate the
+// robustness contract. The value pointer is left in R0. Clobbers R1-R5.
+// idxReg must not be R1-R2.
 func EmitMapLookupOrExit(b *asm.Builder, fd int32, idxReg isa.Reg, keyOff int16, tag string) {
 	hit := "lk_hit_" + tag
 	b.Store(asm.R10, keyOff, idxReg, 4)
@@ -102,7 +104,7 @@ func EmitMapLookupOrExit(b *asm.Builder, fd int32, idxReg isa.Reg, keyOff int16,
 	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, int32(keyOff))
 	b.Call(vm.HelperMapLookup)
 	b.JmpImm(asm.JNE, asm.R0, 0, hit)
-	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
 	b.Exit()
 	b.Label(hit)
 }
@@ -115,19 +117,19 @@ func EmitMapLookupConstOrExit(b *asm.Builder, fd int32, idx int32, keyOff int16,
 	b.Mov(asm.R2, asm.R10).AddImm(asm.R2, int32(keyOff))
 	b.Call(vm.HelperMapLookup)
 	b.JmpImm(asm.JNE, asm.R0, 0, hit)
-	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
 	b.Exit()
 	b.Label(hit)
 }
 
 // EmitLoadHandleOrExit loads an 8-byte kernel-object handle from
 // (valReg+off), null-checks it, and leaves it in dst. On a zero handle
-// the program exits with XDP_ABORTED.
+// the program sheds the packet with XDP_DROP.
 func EmitLoadHandleOrExit(b *asm.Builder, valReg isa.Reg, off int16, dst isa.Reg, tag string) {
 	ok := "h_ok_" + tag
 	b.Load(dst, valReg, off, 8)
 	b.JmpImm(asm.JNE, dst, 0, ok)
-	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
 	b.Exit()
 	b.Label(ok)
 }

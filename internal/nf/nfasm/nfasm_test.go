@@ -109,7 +109,7 @@ func TestMapLookupMacroHitAndMiss(t *testing.T) {
 	machine := vm.New()
 	// Hash map with nothing in it: the lookup misses and the macro's
 	// exit path runs.
-	fd := machine.RegisterMap(maps.NewHash(4, 8, 16))
+	fd := machine.RegisterMap(maps.Must(maps.NewHash(4, 8, 16)))
 	b := asm.New()
 	b.Mov(asm.R6, asm.R1)
 	b.StoreImm(asm.R10, -8, 99, 4) // some absent key

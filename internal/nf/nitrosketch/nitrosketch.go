@@ -87,7 +87,7 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 	switch flavor {
 	case nf.Kernel:
 		s.native = make([]uint32, cfg.Rows*cfg.Width)
-		s.geo = rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed)
+		s.geo = rpool.Must(rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed))
 		s.next = uint64(s.geo.Next()) - 1
 		rows := uint64(cfg.Rows)
 		s.Instance = &nf.NativeInstance{NFName: "nitrosketch", Fn: func(pkt []byte) uint64 {
@@ -106,7 +106,7 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		s.arr = maps.NewArray(cfg.Rows*cfg.Width*4, 1)
+		s.arr = maps.Must(maps.NewArray(cfg.Rows*cfg.Width*4, 1))
 		fd := machine.RegisterMap(s.arr)
 		var b *asm.Builder
 		if flavor == nf.EBPF {
@@ -115,9 +115,9 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 			core.Attach(machine, core.Config{})
 			// State: [rel u64][geo handle u64]: rel is the offset of the
 			// next selected (packet,row) pair relative to this packet.
-			state := maps.NewArray(16, 1)
+			state := maps.Must(maps.NewArray(16, 1))
 			stateFD := machine.RegisterMap(state)
-			geo := rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed)
+			geo := rpool.Must(rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed))
 			h := machine.AllocHandle(geo)
 			d := state.Data()
 			putLE64(d[0:], uint64(geo.Next())-1) // rel
@@ -264,3 +264,8 @@ func buildENetSTL(fd, stateFD int32, cfg Config, inc uint32) *asm.Builder {
 	b.Exit()
 	return b
 }
+
+// GeoPool exposes the Kernel flavour's geometric sampling pool (nil
+// for the bytecode flavours, whose pools live behind eNetSTL handles).
+// Chaos harnesses use it to inject refill faults.
+func (s *Sketch) GeoPool() *rpool.GeoPool { return s.geo }

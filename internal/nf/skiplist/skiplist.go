@@ -90,7 +90,7 @@ func heightOf(key []byte) int {
 func New(flavor nf.Flavor) (*SkipList, error) {
 	switch flavor {
 	case nf.Kernel:
-		s := &SkipList{flavor: flavor, proxy: memwrapper.NewProxy(NodeDataSize, MaxHeight)}
+		s := &SkipList{flavor: flavor, proxy: memwrapper.Must(memwrapper.NewProxy(NodeDataSize, MaxHeight))}
 		head, err := s.proxy.Alloc(MaxHeight)
 		if err != nil {
 			return nil, err
@@ -104,7 +104,8 @@ func New(flavor nf.Flavor) (*SkipList, error) {
 	case nf.ENetSTL:
 		machine := vm.New()
 		lib := core.Attach(machine, core.Config{NodeDataSize: NodeDataSize})
-		proxy := memwrapper.NewProxy(NodeDataSize, MaxHeight)
+		proxy := memwrapper.Must(memwrapper.NewProxy(NodeDataSize, MaxHeight))
+		s := &SkipList{flavor: flavor, machine: machine, progs: make(map[uint32]*vm.Program), proxy: proxy}
 		ph := lib.NewProxyHandle(proxy)
 		head, err := proxy.Alloc(MaxHeight)
 		if err != nil {
@@ -115,11 +116,10 @@ func New(flavor nf.Flavor) (*SkipList, error) {
 		}
 		_ = proxy.Release(head)
 		lib.SetRoot(ph, head)
-		state := maps.NewArray(8, 1)
+		state := maps.Must(maps.NewArray(8, 1))
 		sFD := machine.RegisterMap(state)
 		binary.LittleEndian.PutUint64(state.Data(), ph)
 
-		s := &SkipList{flavor: flavor, machine: machine, progs: make(map[uint32]*vm.Program)}
 		opts := verifier.Options{CtxSize: nf.PktSize, StateBudget: 1 << 22}
 		for op, build := range map[uint32]func(int32) *asm.Builder{
 			nf.OpLookup: buildLookup,
@@ -156,6 +156,22 @@ func (s *SkipList) Process(pkt []byte) (uint64, error) {
 		return 0, fmt.Errorf("skiplist: bad op %d", op)
 	}
 	return s.machine.Run(p, pkt)
+}
+
+// Proxy exposes the memory-wrapper proxy backing the structure (nil
+// for the pure-eBPF flavour, which cannot be built anyway). Chaos
+// harnesses use it to inject allocation faults and check invariants.
+func (s *SkipList) Proxy() *memwrapper.Proxy { return s.proxy }
+
+// VM exposes the backing machine (nil for the Kernel flavour).
+func (s *SkipList) VM() *vm.VM { return s.machine }
+
+// CheckInvariants validates the proxy's structural invariants.
+func (s *SkipList) CheckInvariants() error {
+	if s.proxy == nil {
+		return nil
+	}
+	return s.proxy.CheckInvariants()
 }
 
 // Len returns the number of live elements (excluding the head).
@@ -204,7 +220,9 @@ func (s *SkipList) processNative(pkt []byte, op uint32) (uint64, error) {
 		var err error
 		newNode, err = p.Alloc(height)
 		if err != nil {
-			return 0, err
+			// Allocation failure (memory pressure or an injected fault):
+			// shed the insert, mirroring the bytecode flavour's NULL check.
+			return Partial, nil
 		}
 		binary.LittleEndian.PutUint64(newNode.Data()[0:], k0)
 		binary.LittleEndian.PutUint64(newNode.Data()[8:], k1)

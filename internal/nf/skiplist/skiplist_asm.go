@@ -31,7 +31,9 @@ func emitPreamble(b *asm.Builder, sFD int32) {
 	nfasm.EmitLoadHandleOrExit(b, asm.R0, 0, asm.R1, "ph")
 	b.Kfunc(core.KfProxyRoot)
 	b.JmpImm(asm.JNE, asm.R0, 0, "root_ok")
-	b.MovImm(asm.R0, 0)
+	// No root (uninitialized, or injected fault): degrade to a miss
+	// instead of the 0/aborted verdict.
+	b.MovImm(asm.R0, NotFound)
 	b.Exit()
 	b.Label("root_ok")
 	b.Mov(asm.R7, asm.R0)
@@ -145,7 +147,8 @@ func buildInsert(sFD int32) *asm.Builder {
 	b.Load(asm.R2, asm.R10, slotHeight, 8)
 	b.Kfunc(core.KfNodeAlloc)
 	b.JmpImm(asm.JNE, asm.R0, 0, "alloc_ok")
-	b.MovImm(asm.R0, 0)
+	// Allocation failure: shed this insert, structure untouched.
+	b.MovImm(asm.R0, Partial)
 	b.Exit()
 	b.Label("alloc_ok")
 	b.Mov(asm.R8, asm.R0)
@@ -259,7 +262,7 @@ func buildInsert(sFD int32) *asm.Builder {
 	b.Label("fail_rel8")
 	b.Mov(asm.R1, asm.R8)
 	b.Kfunc(core.KfNodeRelease)
-	b.MovImm(asm.R0, 0)
+	b.MovImm(asm.R0, Partial)
 	b.Exit()
 	return b
 }

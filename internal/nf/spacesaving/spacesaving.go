@@ -71,7 +71,7 @@ func New(flavor nf.Flavor, cfg Config) (*Summary, error) {
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		s.arr = maps.NewArray(2*cfg.Slots*4, 1)
+		s.arr = maps.Must(maps.NewArray(2*cfg.Slots*4, 1))
 		fd := machine.RegisterMap(s.arr)
 		if flavor == nf.ENetSTL {
 			core.Attach(machine, core.Config{})

@@ -88,6 +88,41 @@ type Wheel struct {
 	state   *maps.Array
 	lib     *core.Lib
 	handle  uint64
+	handle2 uint64 // second level (ENetSTL flavour, Levels == 2)
+}
+
+// VM exposes the backing machine (nil for the Kernel flavour). The
+// embedded nf.Instance is an interface, so the *VMInstance method is
+// not promoted; chaos instrumentation needs this explicit accessor.
+func (w *Wheel) VM() *vm.VM { return w.machine }
+
+// CheckInvariants validates the structural invariants of every bucket
+// list backing the wheel, across flavours. The EBPF flavour keeps its
+// buckets inside plain maps and has no linked structure to check.
+func (w *Wheel) CheckInvariants() error {
+	for _, lb := range []*listbuckets.ListBuckets{w.lb, w.lb2} {
+		if lb == nil {
+			continue
+		}
+		if err := lb.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	if w.lib != nil {
+		for _, h := range []uint64{w.handle, w.handle2} {
+			if h == 0 {
+				continue
+			}
+			lb, err := w.lib.Buckets(h)
+			if err != nil {
+				return err
+			}
+			if err := lb.CheckInvariants(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // New builds the NF in the requested flavour.
@@ -102,16 +137,16 @@ func New(flavor nf.Flavor, cfg Config) (*Wheel, error) {
 	w := &Wheel{cfg: cfg}
 	switch flavor {
 	case nf.Kernel:
-		w.lb = listbuckets.New(cfg.Slots, ElemSize, 1024)
+		w.lb = listbuckets.Must(listbuckets.New(cfg.Slots, ElemSize, 1024))
 		w.Instance = &nf.NativeInstance{NFName: "timewheel", Fn: w.processNative}
 		return w, nil
 	case nf.EBPF:
 		machine := vm.New()
 		w.machine = machine
 		// Per-bucket elements: [lock u32, pad u32, list head 16B].
-		buckets := maps.NewArray(8+vm.ListHeadSize, cfg.Slots)
+		buckets := maps.Must(maps.NewArray(8+vm.ListHeadSize, cfg.Slots))
 		bFD := machine.RegisterMap(buckets)
-		w.state = maps.NewArray(8, 1) // clk
+		w.state = maps.Must(maps.NewArray(8, 1)) // clk
 		sFD := machine.RegisterMap(w.state)
 		b := buildEBPF(bFD, sFD, cfg)
 		ins, err := b.Program()
@@ -129,9 +164,9 @@ func New(flavor nf.Flavor, cfg Config) (*Wheel, error) {
 		machine := vm.New()
 		w.machine = machine
 		w.lib = core.Attach(machine, core.Config{})
-		w.state = maps.NewArray(16, 1) // [clk u64, handle u64]
+		w.state = maps.Must(maps.NewArray(16, 1)) // [clk u64, handle u64]
 		sFD := machine.RegisterMap(w.state)
-		w.handle = w.lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024)
+		w.handle = core.MustHandle(w.lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024))
 		binary.LittleEndian.PutUint64(w.state.Data()[8:], w.handle)
 		b := buildENetSTL(sFD, cfg)
 		ins, err := b.Program()
@@ -214,7 +249,7 @@ func buildEBPF(bFD, sFD int32, cfg Config) *asm.Builder {
 	b.MovImm(asm.R1, ElemSize)
 	b.Call(vm.HelperObjNew)
 	b.JmpImm(asm.JNE, asm.R0, 0, "alloc_ok")
-	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
 	b.Exit()
 	b.Label("alloc_ok")
 	b.Mov(asm.R8, asm.R0)

@@ -28,8 +28,8 @@ func newTwoLevel(flavor nf.Flavor, cfg Config) (*Wheel, error) {
 	w := &Wheel{cfg: cfg}
 	switch flavor {
 	case nf.Kernel:
-		w.lb = listbuckets.New(cfg.Slots, ElemSize, 1024)
-		w.lb2 = listbuckets.New(cfg.Slots, ElemSize, 1024)
+		w.lb = listbuckets.Must(listbuckets.New(cfg.Slots, ElemSize, 1024))
+		w.lb2 = listbuckets.Must(listbuckets.New(cfg.Slots, ElemSize, 1024))
 		w.Instance = &nf.NativeInstance{NFName: "timewheel2", Fn: w.processNative2}
 		return w, nil
 	case nf.EBPF:
@@ -37,9 +37,9 @@ func newTwoLevel(flavor nf.Flavor, cfg Config) (*Wheel, error) {
 		w.machine = machine
 		// One array holds both wheels: level 1 in [0,Slots), level 2 in
 		// [Slots, 2*Slots). Elements: [lock u32, pad u32, head 16B].
-		buckets := maps.NewArray(8+vm.ListHeadSize, 2*cfg.Slots)
+		buckets := maps.Must(maps.NewArray(8+vm.ListHeadSize, 2*cfg.Slots))
 		bFD := machine.RegisterMap(buckets)
-		w.state = maps.NewArray(8, 1)
+		w.state = maps.Must(maps.NewArray(8, 1))
 		sFD := machine.RegisterMap(w.state)
 		b := buildEBPF2(bFD, sFD, cfg)
 		ins, err := b.Program()
@@ -59,12 +59,12 @@ func newTwoLevel(flavor nf.Flavor, cfg Config) (*Wheel, error) {
 		lib := core.Attach(machine, core.Config{})
 		w.lib = lib
 		// State: [clk u64, handle1 u64, handle2 u64].
-		w.state = maps.NewArray(24, 1)
+		w.state = maps.Must(maps.NewArray(24, 1))
 		sFD := machine.RegisterMap(w.state)
-		w.handle = lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024)
-		h2 := lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024)
+		w.handle = core.MustHandle(lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024))
+		w.handle2 = core.MustHandle(lib.NewBucketsHandle(cfg.Slots, ElemSize, 1024))
 		binary.LittleEndian.PutUint64(w.state.Data()[8:], w.handle)
-		binary.LittleEndian.PutUint64(w.state.Data()[16:], h2)
+		binary.LittleEndian.PutUint64(w.state.Data()[16:], w.handle2)
 		b := buildENetSTL2(sFD, cfg)
 		ins, err := b.Program()
 		if err != nil {
@@ -181,7 +181,7 @@ func buildEBPF2(bFD, sFD int32, cfg Config) *asm.Builder {
 	b.MovImm(asm.R1, ElemSize)
 	b.Call(vm.HelperObjNew)
 	b.JmpImm(asm.JNE, asm.R0, 0, "alloc_ok")
-	b.MovImm(asm.R0, int32(vm.XDPAborted))
+	b.MovImm(asm.R0, int32(vm.XDPDrop))
 	b.Exit()
 	b.Label("alloc_ok")
 	b.Mov(asm.R8, asm.R0)
@@ -239,7 +239,7 @@ func buildEBPF2(bFD, sFD int32, cfg Config) *asm.Builder {
 		b.JmpImm(asm.JNE, asm.R0, 0, fmt.Sprintf("c1ok_%d", i))
 		b.Mov(asm.R1, asm.R9)
 		b.Call(vm.HelperObjDrop)
-		b.MovImm(asm.R0, int32(vm.XDPAborted))
+		b.MovImm(asm.R0, int32(vm.XDPDrop))
 		b.Exit()
 		b.Label(fmt.Sprintf("c1ok_%d", i))
 		b.Mov(asm.R7, asm.R0)

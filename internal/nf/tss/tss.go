@@ -30,6 +30,12 @@ import (
 // Entry layout: sig u32, prio u32, action u32, pad u32.
 const entrySize = 16
 
+// MissVerdict (== XDP_DROP) is returned when no tuple space matches:
+// an unclassified packet is dropped, never aborted. Rules whose packed
+// (prio<<32)|action would be <= MissVerdict are indistinguishable from
+// a miss; rule sets use prio >= 1.
+const MissVerdict = 1
+
 // Config sizes the classifier.
 type Config struct {
 	Spaces int // number of tuple spaces
@@ -79,7 +85,7 @@ func New(flavor nf.Flavor, cfg Config) (*TSS, error) {
 		return c, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		c.arr = maps.NewArray(entrySize, cfg.Spaces*cfg.Slots)
+		c.arr = maps.Must(maps.NewArray(entrySize, cfg.Spaces*cfg.Slots))
 		fd := machine.RegisterMap(c.arr)
 		if flavor == nf.ENetSTL {
 			core.Attach(machine, core.Config{})
@@ -124,9 +130,9 @@ func (c *TSS) Insert(key []byte, space int, prio, action uint32) {
 	}
 }
 
-// Classify returns (prio<<32)|action of the best match, or 0.
+// Classify returns (prio<<32)|action of the best match, or MissVerdict.
 func (c *TSS) Classify(key []byte) uint64 {
-	var best uint64
+	best := uint64(MissVerdict)
 	for t := 0; t < c.cfg.Spaces; t++ {
 		sig, slot := sigSlot(key, t, c.cfg.Slots)
 		off := (t*c.cfg.Slots + slot) * entrySize
@@ -146,7 +152,7 @@ func buildProgram(fd int32, cfg Config, enetstl bool) *asm.Builder {
 	b := asm.New()
 	smask := int32(cfg.Slots - 1)
 	b.Mov(asm.R6, asm.R1)
-	b.MovImm(asm.R9, 0) // best (prio<<32 | action)
+	b.MovImm(asm.R9, MissVerdict) // best (prio<<32 | action), drop on miss
 	for t := 0; t < cfg.Spaces; t++ {
 		skip := fmt.Sprintf("skip_%d", t)
 		m0, m1 := maskFor(t)

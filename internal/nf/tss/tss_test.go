@@ -58,7 +58,7 @@ func TestNoMatchReturnsZero(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", flavor, err)
 		}
-		if got != 0 {
+		if got != MissVerdict {
 			t.Fatalf("%v: empty classifier matched: %#x", flavor, got)
 		}
 	}

@@ -67,7 +67,7 @@ func New(flavor nf.Flavor, cfg Config) (*VBF, error) {
 		return v, nil
 	case nf.EBPF, nf.ENetSTL:
 		machine := vm.New()
-		v.arr = maps.NewArray(cfg.Bits*4, 1)
+		v.arr = maps.Must(maps.NewArray(cfg.Bits*4, 1))
 		fd := machine.RegisterMap(v.arr)
 		if flavor == nf.ENetSTL {
 			core.Attach(machine, core.Config{})

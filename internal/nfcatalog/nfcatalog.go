@@ -1,0 +1,295 @@
+// Package nfcatalog is the single registry of runnable NF instances:
+// it knows how to construct every network function in every flavour
+// (with the trace-derived table contents and op mixes each needs) and
+// how to wire each one into the chaos harness — which native fault
+// hooks to arm and which structural invariants to check. The nfrun CLI
+// and the chaos tests both build from here, so "every registered NF"
+// means the same set everywhere.
+package nfcatalog
+
+import (
+	"fmt"
+
+	"enetstl/internal/apps"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/faultinject"
+	"enetstl/internal/harness"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/bloom"
+	"enetstl/internal/nf/cmsketch"
+	"enetstl/internal/nf/conntrack"
+	"enetstl/internal/nf/cuckoofilter"
+	"enetstl/internal/nf/cuckooswitch"
+	"enetstl/internal/nf/daryhash"
+	"enetstl/internal/nf/edf"
+	"enetstl/internal/nf/eiffel"
+	"enetstl/internal/nf/heavykeeper"
+	"enetstl/internal/nf/nitrosketch"
+	"enetstl/internal/nf/skiplist"
+	"enetstl/internal/nf/spacesaving"
+	"enetstl/internal/nf/timewheel"
+	"enetstl/internal/nf/tss"
+	"enetstl/internal/nf/vbf"
+	"enetstl/internal/pktgen"
+)
+
+// Names lists every registered NF.
+func Names() []string {
+	return []string{
+		"skiplist", "cuckooswitch", "cmsketch", "nitrosketch", "cuckoofilter",
+		"bloom", "vbf", "eiffel", "timewheel", "edf", "tss", "heavykeeper",
+		"spacesaving", "daryhash", "conntrack",
+	}
+}
+
+// built is one constructed NF plus its chaos wiring.
+type built struct {
+	inst  nf.Instance
+	arm   func(p *faultinject.Plane)
+	check func() error
+}
+
+// Build constructs an NF instance, populating lookup structures from
+// the trace's flows where the NF needs a table and applying the NF's
+// op mix to the trace.
+func Build(name string, flavor nf.Flavor, trace *pktgen.Trace) (nf.Instance, error) {
+	b, err := buildFull(name, flavor, trace)
+	if err != nil {
+		return nil, err
+	}
+	return b.inst, nil
+}
+
+// queueize turns the trace into an enqueue/dequeue mix with spread
+// priorities and deadlines, for the scheduler NFs.
+func queueize(trace *pktgen.Trace) {
+	trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+	for i := range trace.Packets {
+		trace.Packets[i].SetArg(uint32(i * 2654435761))
+		trace.Packets[i].SetTS(uint64(i / 2))
+	}
+}
+
+func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error) {
+	switch name {
+	case "skiplist":
+		s, err := skiplist.New(flavor)
+		if err != nil {
+			return built{}, err
+		}
+		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup, nf.OpDelete}, []int{1, 2, 1})
+		return built{inst: s, check: s.CheckInvariants, arm: func(p *faultinject.Plane) {
+			if pr := s.Proxy(); pr != nil {
+				pr.FailAlloc = p.Site(faultinject.SiteAlloc).Fire
+			}
+		}}, nil
+	case "cuckooswitch":
+		s, err := cuckooswitch.New(flavor, cuckooswitch.Config{Buckets: 1024})
+		if err != nil {
+			return built{}, err
+		}
+		for i := range trace.FlowKeys {
+			s.Insert(trace.FlowKeys[i][:], uint32(100+i))
+		}
+		return built{inst: s.Instance}, nil
+	case "cmsketch":
+		s, err := cmsketch.New(flavor, cmsketch.Config{Rows: 8, Width: 4096})
+		if err != nil {
+			return built{}, err
+		}
+		return built{inst: s.Instance}, nil
+	case "nitrosketch":
+		s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4})
+		if err != nil {
+			return built{}, err
+		}
+		return built{inst: s.Instance, arm: func(p *faultinject.Plane) {
+			if g := s.GeoPool(); g != nil {
+				g.FailRefill = p.Site(faultinject.SiteRefill).Fire
+			}
+		}}, nil
+	case "cuckoofilter":
+		f, err := cuckoofilter.New(flavor, cuckoofilter.Config{Buckets: 1024})
+		if err != nil {
+			return built{}, err
+		}
+		for i := range trace.FlowKeys {
+			f.Insert(trace.FlowKeys[i][:])
+		}
+		return built{inst: f.Instance}, nil
+	case "vbf":
+		v, err := vbf.New(flavor, vbf.Config{Bits: 16384, Hashes: 4})
+		if err != nil {
+			return built{}, err
+		}
+		for i := range trace.FlowKeys {
+			v.Insert(trace.FlowKeys[i][:], i%32)
+		}
+		return built{inst: v.Instance}, nil
+	case "eiffel":
+		q, err := eiffel.New(flavor, eiffel.Config{Levels: 2})
+		if err != nil {
+			return built{}, err
+		}
+		queueize(trace)
+		return built{inst: q.Instance}, nil
+	case "timewheel":
+		w, err := timewheel.New(flavor, timewheel.Config{Slots: 1024})
+		if err != nil {
+			return built{}, err
+		}
+		queueize(trace)
+		return built{inst: w, check: w.CheckInvariants}, nil
+	case "edf":
+		e, err := edf.New(flavor, edf.Config{Groups: 1024, Targets: 64})
+		if err != nil {
+			return built{}, err
+		}
+		return built{inst: e.Instance}, nil
+	case "tss":
+		c, err := tss.New(flavor, tss.Config{Spaces: 8, Slots: 1024})
+		if err != nil {
+			return built{}, err
+		}
+		for i := 0; i < len(trace.FlowKeys)/2; i++ {
+			c.Insert(trace.FlowKeys[i][:], i%8, uint32(i%7+1), uint32(i))
+		}
+		return built{inst: c.Instance}, nil
+	case "heavykeeper":
+		h, err := heavykeeper.New(flavor, heavykeeper.Config{Rows: 4, Width: 4096})
+		if err != nil {
+			return built{}, err
+		}
+		return built{inst: h.Instance, arm: func(p *faultinject.Plane) {
+			if pl := h.Pool(); pl != nil {
+				pl.FailRefill = p.Site(faultinject.SiteRefill).Fire
+			}
+		}}, nil
+	case "bloom":
+		f, err := bloom.New(flavor, bloom.Config{Bits: 1 << 16, Hashes: 4})
+		if err != nil {
+			return built{}, err
+		}
+		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup}, []int{1, 3})
+		return built{inst: f.Instance}, nil
+	case "spacesaving":
+		s, err := spacesaving.New(flavor, spacesaving.Config{Slots: 64})
+		if err != nil {
+			return built{}, err
+		}
+		return built{inst: s.Instance}, nil
+	case "conntrack":
+		// Sized below the flow count so the LRU churns and the update
+		// path stays hot for the whole replay.
+		t, err := conntrack.New(flavor, conntrack.Config{Entries: 128})
+		if err != nil {
+			return built{}, err
+		}
+		return built{inst: t, arm: func(p *faultinject.Plane) {
+			// Kernel flavour: decorate the backing map directly (the EBPF
+			// flavour's map is wrapped generically through the VM).
+			if m := t.Map(); m != nil {
+				if f, ok := m.(*maps.Faulty); ok {
+					m = f.Unwrap()
+				}
+				t.SetMap(&maps.Faulty{
+					M:          m,
+					FailUpdate: p.Site(faultinject.SiteMapUpdate).Fire,
+					MissLookup: p.Site(faultinject.SiteMapLookup).Fire,
+				})
+			}
+		}}, nil
+	case "daryhash":
+		d, err := daryhash.New(flavor, daryhash.Config{Slots: 4096, D: 4})
+		if err != nil {
+			return built{}, err
+		}
+		for i := 0; i < len(trace.FlowKeys) && i < 2048; i++ {
+			d.Insert(trace.FlowKeys[i][:], uint32(100+i))
+		}
+		return built{inst: d.Instance}, nil
+	}
+	return built{}, fmt.Errorf("unknown NF %q", name)
+}
+
+// CasesConfig shapes the chaos case set.
+type CasesConfig struct {
+	Packets int   // per-case trace length (default 2000)
+	Flows   int   // distinct flows (default 256)
+	Seed    int64 // trace seed (default 1)
+	// Apps includes the composed applications alongside the single NFs.
+	Apps bool
+}
+
+func (c CasesConfig) norm() CasesConfig {
+	if c.Packets <= 0 {
+		c.Packets = 2000
+	}
+	if c.Flows <= 0 {
+		c.Flows = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Cases builds every registered NF in every flavour it supports (plus,
+// optionally, the composed apps in both their versions) as chaos
+// cases, each with its own freshly generated trace so per-NF op mixes
+// don't interfere. Unsupported name/flavour combinations (skiplist's
+// paper-P1 pure-eBPF gap) are skipped; real construction failures are
+// returned.
+func Cases(cfg CasesConfig) ([]harness.ChaosCase, error) {
+	cfg = cfg.norm()
+	var cases []harness.ChaosCase
+	for _, name := range Names() {
+		for _, fl := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+			if name == "skiplist" && fl == nf.EBPF {
+				continue // not implementable in pure eBPF (paper P1)
+			}
+			if name == "conntrack" && fl == nf.ENetSTL {
+				continue // pure maps+helpers NF; no eNetSTL flavour
+			}
+			trace := pktgen.Generate(pktgen.Config{
+				Flows: cfg.Flows, Packets: cfg.Packets, ZipfS: 1.1, Seed: cfg.Seed})
+			b, err := buildFull(name, fl, trace)
+			if err != nil {
+				return nil, fmt.Errorf("chaos case %s/%v: %w", name, fl, err)
+			}
+			cases = append(cases, harness.ChaosCase{
+				Name:  fmt.Sprintf("%s/%v", name, fl),
+				Inst:  b.inst,
+				Trace: trace,
+				Arm:   b.arm,
+				Check: b.check,
+			})
+		}
+	}
+	if cfg.Apps {
+		for _, enetstl := range []bool{false, true} {
+			trace := pktgen.Generate(pktgen.Config{
+				Flows: cfg.Flows, Packets: cfg.Packets, ZipfS: 1.1, Seed: cfg.Seed})
+			for _, mk := range []struct {
+				name string
+				make func() (*apps.App, error)
+			}{
+				{"katran", func() (*apps.App, error) { return apps.NewKatran(enetstl, trace.FlowKeys) }},
+				{"rakelimit", func() (*apps.App, error) { return apps.NewRakeLimit(enetstl) }},
+				{"polycube", func() (*apps.App, error) { return apps.NewPolycube(enetstl, trace.FlowKeys) }},
+				{"sketchsuite", func() (*apps.App, error) { return apps.NewSketchSuite(enetstl) }},
+			} {
+				a, err := mk.make()
+				if err != nil {
+					return nil, fmt.Errorf("chaos case app %s: %w", mk.name, err)
+				}
+				cases = append(cases, harness.ChaosCase{
+					Name:  fmt.Sprintf("%s/%v", mk.name, a.Flavor()),
+					Inst:  a,
+					Trace: trace,
+				})
+			}
+		}
+	}
+	return cases, nil
+}

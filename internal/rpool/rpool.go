@@ -5,7 +5,23 @@
 // NitroSketch-style probabilistic updates.
 package rpool
 
-import "math"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrConfig reports an invalid pool configuration.
+var ErrConfig = errors.New("rpool: invalid configuration")
+
+// Must unwraps a pool constructor result, panicking on error; for call
+// sites with static, pre-validated parameters.
+func Must[P any](p P, err error) P {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // xorshift64star is the pool generator; cheap, decent, deterministic.
 type xorshift64star struct{ s uint64 }
@@ -27,22 +43,33 @@ type Pool struct {
 
 	// Refills counts in-place refills, observable by tests and benches.
 	Refills int
+	// RefillFails counts refills suppressed by FailRefill.
+	RefillFails int
+	// FailRefill, when it returns true, makes the next refill fail: the
+	// pool rewinds and serves its previous batch again (stale but valid
+	// randomness — graceful degradation, not an error on the datapath).
+	FailRefill func() bool
 }
 
 // NewPool creates a pool of size pre-generated numbers.
-func NewPool(size int, seed uint64) *Pool {
+func NewPool(size int, seed uint64) (*Pool, error) {
 	if size <= 0 {
-		panic("rpool: pool size must be positive")
+		return nil, fmt.Errorf("%w: pool size %d", ErrConfig, size)
 	}
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
 	}
 	p := &Pool{buf: make([]uint32, size), rng: xorshift64star{s: seed}}
 	p.refill()
-	return p
+	return p, nil
 }
 
 func (p *Pool) refill() {
+	if p.FailRefill != nil && p.FailRefill() {
+		p.pos = 0
+		p.RefillFails++
+		return
+	}
 	for i := range p.buf {
 		p.buf[i] = uint32(p.rng.next())
 	}
@@ -80,16 +107,21 @@ type GeoPool struct {
 
 	// Refills counts in-place refills.
 	Refills int
+	// RefillFails counts refills suppressed by FailRefill.
+	RefillFails int
+	// FailRefill, when it returns true, makes the next refill fail: the
+	// pool rewinds and serves its previous batch again.
+	FailRefill func() bool
 }
 
 // NewGeoPool creates a pool of size geometric samples with parameter
 // prob in (0, 1].
-func NewGeoPool(size int, prob float64, seed uint64) *GeoPool {
+func NewGeoPool(size int, prob float64, seed uint64) (*GeoPool, error) {
 	if size <= 0 {
-		panic("rpool: pool size must be positive")
+		return nil, fmt.Errorf("%w: pool size %d", ErrConfig, size)
 	}
 	if prob <= 0 || prob > 1 {
-		panic("rpool: prob must be in (0,1]")
+		return nil, fmt.Errorf("%w: prob %g not in (0,1]", ErrConfig, prob)
 	}
 	if seed == 0 {
 		seed = 0x9e3779b97f4a7c15
@@ -99,10 +131,15 @@ func NewGeoPool(size int, prob float64, seed uint64) *GeoPool {
 		g.logq = math.Log1p(-prob)
 	}
 	g.refill()
-	return g
+	return g, nil
 }
 
 func (g *GeoPool) refill() {
+	if g.FailRefill != nil && g.FailRefill() {
+		g.pos = 0
+		g.RefillFails++
+		return
+	}
 	for i := range g.buf {
 		g.buf[i] = g.sample()
 	}

@@ -9,7 +9,7 @@ import "testing"
 var rsink uint32
 
 func BenchmarkPoolNext(b *testing.B) {
-	p := NewPool(4096, 1)
+	p := Must(NewPool(4096, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rsink = p.Next()
@@ -35,7 +35,7 @@ func BenchmarkPerCallTausworthe(b *testing.B) {
 }
 
 func BenchmarkGeoPoolNext(b *testing.B) {
-	g := NewGeoPool(4096, 1.0/64, 1)
+	g := Must(NewGeoPool(4096, 1.0/64, 1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rsink = g.Next()

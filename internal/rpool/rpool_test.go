@@ -6,16 +6,16 @@ import (
 )
 
 func TestPoolDeterministicPerSeed(t *testing.T) {
-	a := NewPool(64, 42)
-	b := NewPool(64, 42)
+	a := Must(NewPool(64, 42))
+	b := Must(NewPool(64, 42))
 	for i := 0; i < 200; i++ {
 		if a.Next() != b.Next() {
 			t.Fatalf("same seed diverged at draw %d", i)
 		}
 	}
-	c := NewPool(64, 43)
+	c := Must(NewPool(64, 43))
 	same := true
-	a2 := NewPool(64, 42)
+	a2 := Must(NewPool(64, 42))
 	for i := 0; i < 16; i++ {
 		if a2.Next() != c.Next() {
 			same = false
@@ -27,7 +27,7 @@ func TestPoolDeterministicPerSeed(t *testing.T) {
 }
 
 func TestPoolAutoRefill(t *testing.T) {
-	p := NewPool(8, 1)
+	p := Must(NewPool(8, 1))
 	if p.Refills != 1 {
 		t.Fatalf("initial refills = %d, want 1", p.Refills)
 	}
@@ -40,10 +40,10 @@ func TestPoolAutoRefill(t *testing.T) {
 }
 
 func TestPoolFill(t *testing.T) {
-	p := NewPool(4, 1)
+	p := Must(NewPool(4, 1))
 	out := make([]uint32, 10)
 	p.Fill(out)
-	q := NewPool(4, 1)
+	q := Must(NewPool(4, 1))
 	for i := range out {
 		if out[i] != q.Next() {
 			t.Fatalf("Fill diverges from Next at %d", i)
@@ -52,7 +52,7 @@ func TestPoolFill(t *testing.T) {
 }
 
 func TestPoolUniformity(t *testing.T) {
-	p := NewPool(1024, 7)
+	p := Must(NewPool(1024, 7))
 	const n = 1 << 16
 	buckets := make([]int, 16)
 	for i := 0; i < n; i++ {
@@ -68,7 +68,7 @@ func TestPoolUniformity(t *testing.T) {
 
 func TestGeoPoolMean(t *testing.T) {
 	for _, prob := range []float64{1, 0.5, 0.25, 1.0 / 64} {
-		g := NewGeoPool(1024, prob, 11)
+		g := Must(NewGeoPool(1024, prob, 11))
 		const n = 1 << 15
 		var sum float64
 		for i := 0; i < n; i++ {
@@ -83,7 +83,7 @@ func TestGeoPoolMean(t *testing.T) {
 }
 
 func TestGeoPoolMinimumOne(t *testing.T) {
-	g := NewGeoPool(256, 0.9, 3)
+	g := Must(NewGeoPool(256, 0.9, 3))
 	for i := 0; i < 4096; i++ {
 		if g.Next() < 1 {
 			t.Fatal("geometric sample below 1")
@@ -92,7 +92,7 @@ func TestGeoPoolMinimumOne(t *testing.T) {
 }
 
 func TestGeoPoolProbOne(t *testing.T) {
-	g := NewGeoPool(16, 1, 3)
+	g := Must(NewGeoPool(16, 1, 3))
 	for i := 0; i < 64; i++ {
 		if got := g.Next(); got != 1 {
 			t.Fatalf("p=1 sample = %d, want 1", got)
@@ -109,8 +109,8 @@ func TestPanicsOnBadConfig(t *testing.T) {
 		}()
 		fn()
 	}
-	mustPanic("zero pool", func() { NewPool(0, 1) })
-	mustPanic("zero geo pool", func() { NewGeoPool(0, 0.5, 1) })
-	mustPanic("bad prob", func() { NewGeoPool(8, 1.5, 1) })
-	mustPanic("zero prob", func() { NewGeoPool(8, 0, 1) })
+	mustPanic("zero pool", func() { Must(NewPool(0, 1)) })
+	mustPanic("zero geo pool", func() { Must(NewGeoPool(0, 0.5, 1)) })
+	mustPanic("bad prob", func() { Must(NewGeoPool(8, 1.5, 1)) })
+	mustPanic("zero prob", func() { Must(NewGeoPool(8, 0, 1)) })
 }
