@@ -1,15 +1,20 @@
 # Developer entry points. `make check` is the pre-PR gate: formatting,
-# vet, build, full tests, race coverage of the concurrency-sensitive
-# packages (telemetry registry, VM stats, harness incl. the chaos
-# tests), and a quick chaos smoke over the full NF catalog.
+# vet, build, full tests, race coverage of the whole module, the
+# differential conformance suite (flavour equivalence + VM-vs-reference
+# sweep), a bounded fuzz smoke over every native fuzz target, and a
+# quick chaos smoke over the full NF catalog.
 
 GO ?= go
 
-.PHONY: all check fmt vet build test race bench bench-telemetry chaos-smoke
+# Per-target budget for fuzz-smoke; raise for a longer local campaign,
+# e.g. `make fuzz-smoke FUZZTIME=2m`.
+FUZZTIME ?= 10s
+
+.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry chaos-smoke
 
 all: check
 
-check: fmt vet build test race chaos-smoke
+check: fmt vet build test race difftest fuzz-smoke chaos-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,7 +30,27 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry/ ./internal/ebpf/vm/ ./internal/harness/
+	$(GO) test -race ./...
+
+# Differential conformance: every NF in every supported flavour over
+# identical seeded traces, plus generated programs cross-checked between
+# the production VM and the reference interpreter. 4000 packets matches
+# the difftest package defaults; exits non-zero on any divergence.
+difftest:
+	$(GO) run ./cmd/nfrun -difftest -packets 4000 -flows 256 -vm-trials 200
+
+# Bounded native fuzzing: every Fuzz* target for FUZZTIME each, seeded
+# from the committed corpora under testdata/fuzz/. A crash writes its
+# reproducer into testdata and fails the build.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzVerifier$$' -fuzztime $(FUZZTIME) ./internal/ebpf/verifier/
+	$(GO) test -run '^$$' -fuzz '^FuzzHashModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
+	$(GO) test -run '^$$' -fuzz '^FuzzLRUHashModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
+	$(GO) test -run '^$$' -fuzz '^FuzzArrayModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
+	$(GO) test -run '^$$' -fuzz '^FuzzFastHash$$' -fuzztime $(FUZZTIME) ./internal/nhash/
+	$(GO) test -run '^$$' -fuzz '^FuzzFusedOps$$' -fuzztime $(FUZZTIME) ./internal/nhash/
+	$(GO) test -run '^$$' -fuzz '^FuzzBitops$$' -fuzztime $(FUZZTIME) ./internal/bitops/
+	$(GO) test -run '^$$' -fuzz '^FuzzBitmapScan$$' -fuzztime $(FUZZTIME) ./internal/bitops/
 
 # 1500 packets is the smallest trace that exercises every fault site
 # (rpool refills happen once per ~4096 draws).

@@ -8,12 +8,15 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"enetstl/internal/difftest"
 	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/verifier"
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/harness"
 	"enetstl/internal/nf"
@@ -63,11 +66,17 @@ func main() {
 		profile   = flag.Bool("profile", false, "attribute execution time to helpers/kfuncs and exit (VM flavours)")
 		chaos     = flag.Bool("chaos", false, "replay every registered NF (all flavours) and the composed apps under the fault-schedule grid, check the robustness contract, and exit")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-plane seed for -chaos (0 = default); a failing seed replays bit-for-bit")
+		difftest  = flag.Bool("difftest", false, "run the differential conformance suite (flavour equivalence over every NF plus a VM-vs-reference sweep) and exit")
+		vmTrials  = flag.Int("vm-trials", 200, "generated programs for the -difftest VM differential sweep")
 	)
 	flag.Parse()
 
 	if *chaos {
 		runChaos(*packets, *flows, *seed, *chaosSeed, *stats)
+		return
+	}
+	if *difftest {
+		runDifftest(*packets, *flows, *seed, *zipf, *vmTrials)
 		return
 	}
 
@@ -182,6 +191,47 @@ func runChaos(packets, flows int, traceSeed int64, faultSeed uint64, stats bool)
 		}
 	}
 	if res.Failed() {
+		os.Exit(1)
+	}
+}
+
+// runDifftest runs the two standing differential suites: flavour
+// equivalence over every registered NF, and the generated-program sweep
+// that cross-checks the production VM against the reference interpreter.
+// Exits non-zero on any divergence.
+func runDifftest(packets, flows int, traceSeed int64, zipf float64, vmTrials int) {
+	rep, err := difftest.RunEquivalence(difftest.Config{
+		Packets: packets, Flows: flows, Seed: traceSeed, ZipfS: zipf})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(rep)
+
+	ctx := make([]byte, 64)
+	for i := range ctx {
+		ctx[i] = byte(i*7 + 1)
+	}
+	executed, rejected, diverged := 0, 0, 0
+	for s := uint64(0); s < uint64(vmTrials); s++ {
+		prog, err := difftest.GenProgram(s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
+			os.Exit(1)
+		}
+		switch err := difftest.CrossCheck(prog, ctx); {
+		case err == nil:
+			executed++
+		case errors.Is(err, verifier.ErrRejected):
+			rejected++
+		default:
+			diverged++
+			fmt.Fprintf(os.Stderr, "seed %d: %v\n", s, err)
+		}
+	}
+	fmt.Printf("vmdiff: %d programs executed, %d rejected, %d divergences\n",
+		executed, rejected, diverged)
+	if rep.Failed() || diverged > 0 {
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,112 @@
+package bitops_test
+
+import (
+	"testing"
+
+	"enetstl/internal/bitops"
+)
+
+// FuzzBitops cross-checks the hardware-lowered bit operations against
+// the software reference implementations and each other's algebraic
+// identities on arbitrary words.
+func FuzzBitops(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(^uint64(0))
+	f.Add(uint64(1) << 63)
+	f.Add(uint64(0x8000000000000001))
+	f.Add(uint64(0xdeadbeefcafebabe))
+	f.Fuzz(func(t *testing.T, x uint64) {
+		if got, want := bitops.FFS(x), bitops.SoftFFS(x); got != want {
+			t.Fatalf("FFS(%#x) = %d, SoftFFS says %d", x, got, want)
+		}
+		if got, want := bitops.Popcnt(x), bitops.SoftPopcnt(x); got != want {
+			t.Fatalf("Popcnt(%#x) = %d, SoftPopcnt says %d", x, got, want)
+		}
+		if x == 0 {
+			if bitops.FFS(x) != 0 || bitops.FLS(x) != 0 || bitops.CTZ(x) != 64 || bitops.CLZ(x) != 64 {
+				t.Fatalf("zero-word conventions violated: ffs=%d fls=%d ctz=%d clz=%d",
+					bitops.FFS(x), bitops.FLS(x), bitops.CTZ(x), bitops.CLZ(x))
+			}
+			return
+		}
+		// 1-based endpoints against the zero-count forms.
+		if bitops.FFS(x) != bitops.CTZ(x)+1 {
+			t.Fatalf("FFS(%#x)=%d but CTZ+1=%d", x, bitops.FFS(x), bitops.CTZ(x)+1)
+		}
+		if bitops.FLS(x) != 64-bitops.CLZ(x) {
+			t.Fatalf("FLS(%#x)=%d but 64-CLZ=%d", x, bitops.FLS(x), 64-bitops.CLZ(x))
+		}
+		// The lowest set bit isolated must sit exactly at FFS.
+		if low := x & -x; bitops.FLS(low) != bitops.FFS(x) {
+			t.Fatalf("isolated low bit of %#x at %d, FFS says %d", x, bitops.FLS(low), bitops.FFS(x))
+		}
+		// Complement partition of the 64 bit positions.
+		if bitops.Popcnt(x)+bitops.Popcnt(^x) != 64 {
+			t.Fatalf("Popcnt(%#x)+Popcnt(^x) = %d, want 64", x, bitops.Popcnt(x)+bitops.Popcnt(^x))
+		}
+		// Clearing the lowest set bit drops the population by one.
+		if bitops.Popcnt(x&(x-1)) != bitops.Popcnt(x)-1 {
+			t.Fatalf("clearing low bit of %#x did not drop Popcnt by 1", x)
+		}
+	})
+}
+
+// FuzzBitmapScan drives Bitmap.FirstSet / LastSet / CountRange over a
+// two-word bitmap against a naive bit-by-bit scan — the occupancy-lookup
+// primitive the queuing NFs build on (paper observation O1).
+func FuzzBitmapScan(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint8(0))
+	f.Add(uint64(1), uint64(1)<<63, uint8(64))
+	f.Add(^uint64(0), uint64(0), uint8(127))
+	f.Add(uint64(0x10), uint64(0x8000), uint8(5))
+	f.Fuzz(func(t *testing.T, w0, w1 uint64, posRaw uint8) {
+		b := bitops.Bitmap{w0, w1}
+		nbits := 128
+		pos := int(posRaw) % (nbits + 2) // probe past the end too
+
+		naiveFirst := func(from int) int {
+			if from < 0 {
+				from = 0
+			}
+			for i := from; i < nbits; i++ {
+				if b.Test(i) {
+					return i
+				}
+			}
+			return -1
+		}
+		naiveLast := func(upto int) int {
+			if upto >= nbits {
+				upto = nbits - 1
+			}
+			for i := upto; i >= 0; i-- {
+				if b.Test(i) {
+					return i
+				}
+			}
+			return -1
+		}
+		naiveCount := func(n int) int {
+			c := 0
+			for i := 0; i < n && i < nbits; i++ {
+				if b.Test(i) {
+					c++
+				}
+			}
+			return c
+		}
+
+		if pos < nbits {
+			if got, want := b.FirstSet(pos), naiveFirst(pos); got != want {
+				t.Fatalf("FirstSet(%d) over %#x,%#x = %d, naive says %d", pos, w0, w1, got, want)
+			}
+			if got, want := b.LastSet(pos), naiveLast(pos); got != want {
+				t.Fatalf("LastSet(%d) over %#x,%#x = %d, naive says %d", pos, w0, w1, got, want)
+			}
+		}
+		if got, want := b.CountRange(pos), naiveCount(pos); got != want {
+			t.Fatalf("CountRange(%d) over %#x,%#x = %d, naive says %d", pos, w0, w1, got, want)
+		}
+	})
+}

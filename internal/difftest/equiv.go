@@ -1,0 +1,344 @@
+// Package difftest is the differential conformance subsystem: it proves
+// that every network function's flavours compute the same function.
+//
+// Three pillars:
+//
+//   - Flavour equivalence (this file): every nfcatalog entry with more
+//     than one flavour replays identical seeded packet streams through
+//     each and is checked verdict-for-verdict, then probed through its
+//     control-plane estimator. Hash-deterministic structures must agree
+//     exactly; the sampling sketches (nitrosketch, heavykeeper) replace
+//     the seeded native randomness pool with the VM helper RNG in their
+//     pure-eBPF flavour, so that flavour is held to metamorphic
+//     error-bound oracles against ground-truth flow counts instead.
+//
+//   - VM differential fuzzing (refvm.go, gen.go): a naive spec-style
+//     reference interpreter cross-checked against internal/ebpf/vm on
+//     generated verifier-valid programs — final registers, stack bytes,
+//     map state, and verdict — with golden execution traces for a fixed
+//     corpus.
+//
+//   - Native fuzz targets (in the subject packages, seeded from
+//     committed corpora) for maps, verifier, nhash, and bitops.
+package difftest
+
+import (
+	"fmt"
+
+	"enetstl/internal/harness"
+	"enetstl/internal/nf"
+	"enetstl/internal/nf/bloom"
+	"enetstl/internal/nf/vbf"
+	"enetstl/internal/nfcatalog"
+	"enetstl/internal/pktgen"
+)
+
+// Sketch geometry mirrored from nfcatalog's constructors; the
+// metamorphic bounds below are stated in these terms. A drift here is
+// caught loudly: the bounds are checked on every make check.
+const (
+	cmWidth  = 4096 // cmsketch/nitrosketch width (counters per row)
+	ssSlots  = 64   // spacesaving monitored slots
+	nsSample = 16   // nitrosketch sampling period (1/p) == increment
+)
+
+// Divergence is one equivalence violation.
+type Divergence struct {
+	Case   string
+	Kind   string // verdict | error | estimate | bound | trace
+	Packet int    // -1 for post-replay probes
+	Detail string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s pkt=%d %s: %s", d.Case, d.Packet, d.Kind, d.Detail)
+}
+
+// maxDivergences bounds the stored details; Total keeps the true count.
+const maxDivergences = 50
+
+// Report aggregates one equivalence run.
+type Report struct {
+	Cases     int
+	Instances int
+	Packets   int // packets replayed across all instances
+	Probes    int // post-replay estimator/metamorphic checks
+
+	Divergences []Divergence
+	Total       uint64
+}
+
+// Failed reports whether any divergence was observed.
+func (r *Report) Failed() bool { return r.Total > 0 }
+
+func (r *Report) String() string {
+	out := fmt.Sprintf("difftest: %d cases, %d instances, %d packets replayed, %d probes, %d divergences",
+		r.Cases, r.Instances, r.Packets, r.Probes, r.Total)
+	for _, d := range r.Divergences {
+		out += "\n  " + d.String()
+	}
+	return out
+}
+
+func (r *Report) diverge(d Divergence) {
+	r.Total++
+	if len(r.Divergences) < maxDivergences {
+		r.Divergences = append(r.Divergences, d)
+	}
+}
+
+// Config shapes the equivalence run; the zero value uses the defaults
+// of nfcatalog.DiffConfig.
+type Config struct {
+	Packets int
+	Flows   int
+	Seed    int64
+	ZipfS   float64
+}
+
+// RunEquivalence builds every registered NF in all supported flavours
+// and differentially replays them.
+func RunEquivalence(cfg Config) (*Report, error) {
+	cases, err := nfcatalog.DiffCases(nfcatalog.DiffConfig{
+		Packets: cfg.Packets, Flows: cfg.Flows, Seed: cfg.Seed, ZipfS: cfg.ZipfS})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for _, c := range cases {
+		runCase(rep, c)
+	}
+	return rep, nil
+}
+
+// runCase replays one NF's flavours and applies the oracles.
+func runCase(rep *Report, c nfcatalog.DiffCase) {
+	rep.Cases++
+	rep.Instances += len(c.Insts)
+	caseName := func(i int) string {
+		return fmt.Sprintf("%s/%v", c.Name, c.Flavors[i])
+	}
+
+	// The constructors mutate their trace clones (op mixes) — all
+	// deterministically, so the streams must still be bit-identical.
+	// A mismatch here means the flavours did not see the same input and
+	// every downstream comparison would be vacuous.
+	for i := 1; i < len(c.Traces); i++ {
+		if !tracesEqual(c.Traces[0], c.Traces[i]) {
+			rep.diverge(Divergence{Case: caseName(i), Kind: "trace", Packet: -1,
+				Detail: "per-flavour trace clones diverged before replay"})
+			return
+		}
+	}
+
+	verdicts := make([][]uint64, len(c.Insts))
+	errs := make([]error, len(c.Insts))
+	for i, inst := range c.Insts {
+		verdicts[i], errs[i] = harness.Verdicts(inst, c.Traces[i])
+		rep.Packets += len(verdicts[i])
+	}
+
+	// Error parity: a flavour erroring where another does not is a
+	// divergence regardless of verdicts.
+	for i := 1; i < len(c.Insts); i++ {
+		if (errs[0] == nil) != (errs[i] == nil) {
+			rep.diverge(Divergence{Case: caseName(i), Kind: "error", Packet: len(verdicts[i]),
+				Detail: fmt.Sprintf("error parity: %v=%v, %v=%v",
+					c.Flavors[0], errs[0], c.Flavors[i], errs[i])})
+		}
+	}
+
+	// Verdict-for-verdict equality against the Kernel flavour. The
+	// sampling sketches emit a constant verdict, so this holds for them
+	// too; their divergent state is handled by the estimate oracles.
+	for i := 1; i < len(c.Insts); i++ {
+		n := len(verdicts[0])
+		if len(verdicts[i]) < n {
+			n = len(verdicts[i])
+		}
+		for p := 0; p < n; p++ {
+			if verdicts[0][p] != verdicts[i][p] {
+				rep.diverge(Divergence{Case: caseName(i), Kind: "verdict", Packet: p,
+					Detail: fmt.Sprintf("%v=%d %v=%d", c.Flavors[0], verdicts[0][p],
+						c.Flavors[i], verdicts[i][p])})
+				break // first mismatch per pair is enough to localize
+			}
+		}
+	}
+
+	// Estimator probes: pairwise exactness where the contract is exact,
+	// metamorphic ground-truth bounds everywhere.
+	counts := flowCounts(c.Traces[0])
+	if c.Estimates[0] != nil {
+		for f, key := range c.Traces[0].FlowKeys {
+			base := c.Estimates[0](key[:])
+			for i := 1; i < len(c.Insts); i++ {
+				if c.Oracle == nfcatalog.OracleEstimate && c.Flavors[i] == nf.EBPF {
+					continue // helper-RNG flavour: bounds below, not equality
+				}
+				rep.Probes++
+				if got := c.Estimates[i](key[:]); got != base {
+					rep.diverge(Divergence{Case: caseName(i), Kind: "estimate", Packet: -1,
+						Detail: fmt.Sprintf("flow %d: %v=%d %v=%d", f,
+							c.Flavors[0], base, c.Flavors[i], got)})
+				}
+			}
+		}
+	}
+	for i := range c.Insts {
+		if c.Estimates[i] == nil {
+			continue
+		}
+		checkBounds(rep, caseName(i), c.Name, c.Estimates[i], c.Traces[0], counts)
+	}
+
+	// Verdict-stream metamorphic oracles for the filters, applied to the
+	// Kernel stream (all flavours are already proven equal to it above).
+	switch c.Name {
+	case "bloom":
+		checkBloomStream(rep, caseName(0), c.Traces[0], verdicts[0])
+	case "vbf":
+		checkVBFStream(rep, caseName(0), c.Traces[0], verdicts[0])
+	}
+}
+
+// flowCounts returns the per-flow packet counts — the ground truth the
+// sketch estimates approximate (every sketch NF updates on every
+// packet).
+func flowCounts(t *pktgen.Trace) []uint32 {
+	counts := make([]uint32, len(t.FlowKeys))
+	for _, f := range t.FlowOf {
+		counts[f]++
+	}
+	return counts
+}
+
+// checkBounds applies the per-NF metamorphic error-bound oracle to one
+// flavour's estimator. The bounds are deterministic facts about this
+// repo's seeded replays (every RNG involved is seeded), stated with the
+// structures' analytical error terms plus slack, so they hold for any
+// trace configuration in the same regime rather than pinning exact
+// values.
+func checkBounds(rep *Report, caseName, nfName string, est func([]byte) uint32, t *pktgen.Trace, counts []uint32) {
+	n := uint32(len(t.Packets))
+	for f, key := range t.FlowKeys {
+		tc := counts[f]
+		got := est(key[:])
+		rep.Probes++
+		var bad string
+		switch nfName {
+		case "cmsketch":
+			// Count-min never undercounts; the row-collision overcount is
+			// ~N/width per row, taken min over 8 rows. 8N/width + 16 is
+			// orders of magnitude of slack.
+			if got < tc {
+				bad = fmt.Sprintf("count-min undercount: est %d < true %d", got, tc)
+			} else if over := got - tc; over > 8*n/cmWidth+16 {
+				bad = fmt.Sprintf("count-min overcount: est %d, true %d, bound +%d", got, tc, 8*n/cmWidth+16)
+			}
+		case "nitrosketch":
+			// Sampled updates (p=1/16, increment 16) make the estimate
+			// unbiased with stddev ~sqrt(15·true)·4; a ±(true/2 + 24·sample)
+			// band is >6 sigma for every flow in this regime.
+			slack := tc/2 + 24*nsSample
+			if got > tc+slack || got+slack < tc {
+				bad = fmt.Sprintf("nitrosketch estimate %d outside true %d ± %d", got, tc, slack)
+			}
+		case "heavykeeper":
+			// Count-with-exponential-decay never overcounts its own flow
+			// (+4 covers a fingerprint collision, none occurs at 256
+			// flows); heavy flows must retain at least half their count.
+			if got > tc+4 {
+				bad = fmt.Sprintf("heavykeeper overcount: est %d > true %d", got, tc)
+			} else if tc >= n/10 && got < tc/2 {
+				bad = fmt.Sprintf("heavykeeper lost a heavy flow: est %d, true %d", got, tc)
+			}
+		case "spacesaving":
+			// A monitored key's count overshoots by at most the stream
+			// error N/slots (doubled for slack); unmonitored keys read 0.
+			if got != 0 && got > tc+2*n/ssSlots {
+				bad = fmt.Sprintf("space-saving overcount: est %d, true %d, bound +%d", got, tc, 2*n/ssSlots)
+			}
+		case "vbf":
+			// Membership of the inserted set can never be lost (no false
+			// negatives): flow f was inserted into set f%32.
+			if got&(1<<uint(f%32)) == 0 {
+				bad = fmt.Sprintf("vbf false negative: flow %d missing from set %d (mask %#x)", f, f%32, got)
+			}
+		default:
+			rep.Probes-- // no ground-truth oracle for this estimator
+		}
+		if bad != "" {
+			rep.diverge(Divergence{Case: caseName, Kind: "bound", Packet: -1, Detail: bad})
+			return // one per case localizes; more adds noise
+		}
+	}
+}
+
+// checkBloomStream asserts the filter's no-false-negative contract over
+// the replayed verdict stream: once a flow has been inserted, every
+// later test of that flow must return Member.
+func checkBloomStream(rep *Report, caseName string, t *pktgen.Trace, verdicts []uint64) {
+	inserted := make([]bool, len(t.FlowKeys))
+	for p := range t.Packets {
+		if p >= len(verdicts) {
+			return
+		}
+		f := t.FlowOf[p]
+		op := uint32(t.Packets[p][nf.OffOp]) | uint32(t.Packets[p][nf.OffOp+1])<<8 |
+			uint32(t.Packets[p][nf.OffOp+2])<<16 | uint32(t.Packets[p][nf.OffOp+3])<<24
+		rep.Probes++
+		switch op {
+		case nf.OpUpdate:
+			inserted[f] = true
+		case nf.OpLookup:
+			if inserted[f] && verdicts[p] != uint64(bloom.Member) {
+				rep.diverge(Divergence{Case: caseName, Kind: "bound", Packet: p,
+					Detail: fmt.Sprintf("bloom false negative: flow %d tested %d after insert", f, verdicts[p])})
+				return
+			}
+		}
+	}
+}
+
+// checkVBFStream asserts the vector filter's membership contract over
+// the verdict stream: every packet queries its flow, which was inserted
+// into set flow%32 at construction.
+func checkVBFStream(rep *Report, caseName string, t *pktgen.Trace, verdicts []uint64) {
+	for p := range t.Packets {
+		if p >= len(verdicts) {
+			return
+		}
+		f := t.FlowOf[p]
+		rep.Probes++
+		mask := verdicts[p] - vbf.MatchBase
+		if verdicts[p] < vbf.MatchBase || mask&(1<<uint(int(f)%32)) == 0 {
+			rep.diverge(Divergence{Case: caseName, Kind: "bound", Packet: p,
+				Detail: fmt.Sprintf("vbf false negative: flow %d verdict %#x missing set %d", f, verdicts[p], int(f)%32)})
+			return
+		}
+	}
+}
+
+func tracesEqual(a, b *pktgen.Trace) bool {
+	if len(a.Packets) != len(b.Packets) || len(a.FlowKeys) != len(b.FlowKeys) ||
+		len(a.FlowOf) != len(b.FlowOf) {
+		return false
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			return false
+		}
+	}
+	for i := range a.FlowKeys {
+		if a.FlowKeys[i] != b.FlowKeys[i] {
+			return false
+		}
+	}
+	for i := range a.FlowOf {
+		if a.FlowOf[i] != b.FlowOf[i] {
+			return false
+		}
+	}
+	return true
+}

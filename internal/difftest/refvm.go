@@ -1,0 +1,451 @@
+// A naive spec-style reference interpreter for the simulated eBPF ISA.
+//
+// RefVM is deliberately written as a direct transcription of the ISA
+// and ABI documentation — one flat switch, no dispatch tricks, no code
+// shared with internal/ebpf/vm — so the two interpreters fail
+// independently. The contract it transcribes:
+//
+//   - pointers are regionID<<32 | offset; region 0 is reserved (NULL is
+//     never valid), the 512-byte stack is region 1, the context region
+//     2, and each registered map takes the next region for its arena
+//     followed by one for the (non-addressable) map object;
+//   - on entry R1 = ctx pointer, R2 = len(ctx), R10 = stack top;
+//   - helper calls put the result in R0 and clobber R1-R5 to zero;
+//   - div by zero yields 0, mod by zero leaves dst unchanged, shifts
+//     mask to the operand width, ALU32 results zero-extend;
+//   - bpf_get_prandom_u32 is the kernel's four-LFSR tausworthe
+//     generator, lazily seeded from the documented initial state;
+//   - execution is bounded by a 1<<22 instruction budget.
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/vm"
+)
+
+// Reference errors; only nil-ness is compared against the real VM.
+var (
+	errRefOOB    = errors.New("refvm: out-of-bounds access")
+	errRefBadPtr = errors.New("refvm: bad pointer")
+	errRefBudget = errors.New("refvm: budget exhausted")
+	errRefInstr  = errors.New("refvm: malformed instruction")
+)
+
+// refStackSize mirrors the documented per-program stack size.
+const refStackSize = 512
+
+// RefArray models one array map: fixed-size values addressed by a u32
+// index key, backed by a flat byte arena.
+type RefArray struct {
+	ValueSize int
+	N         int
+	Data      []byte
+
+	arenaRegion  uint64
+	objectRegion uint64
+}
+
+// RefVM is the reference machine: fixed stack, a context buffer, and
+// array maps registered in FD order.
+type RefVM struct {
+	Stack  [refStackSize]byte
+	Ctx    []byte
+	Maps   []*RefArray
+	Now    uint64
+	Budget int
+
+	// TraceFn, when set, observes every executed instruction with the
+	// register file as it stands after the instruction retired. The
+	// golden-trace corpus is recorded through it.
+	TraceFn func(step, pc int, ins isa.Instruction, regs *[isa.NumRegs]uint64)
+
+	taus       [4]uint32
+	rngState   uint64
+	nextRegion uint64
+}
+
+// NewRef builds an empty reference machine with the documented initial
+// RNG state and budget.
+func NewRef() *RefVM {
+	return &RefVM{
+		Budget:     1 << 22,
+		rngState:   0x9e3779b97f4a7c15,
+		nextRegion: 3, // 0 reserved, 1 stack, 2 ctx
+	}
+}
+
+// AddArray registers an array map and returns its FD. Must mirror the
+// registration order used on the machine under test.
+func (r *RefVM) AddArray(valueSize, n int) int32 {
+	m := &RefArray{
+		ValueSize:    valueSize,
+		N:            n,
+		Data:         make([]byte, valueSize*n),
+		arenaRegion:  r.nextRegion,
+		objectRegion: r.nextRegion + 1,
+	}
+	r.nextRegion += 2
+	r.Maps = append(r.Maps, m)
+	return int32(len(r.Maps) - 1)
+}
+
+// mem resolves ptr to n bytes of backing storage.
+func (r *RefVM) mem(ptr uint64, n int) ([]byte, error) {
+	if ptr == 0 {
+		return nil, errRefBadPtr
+	}
+	id := ptr >> 32
+	off := ptr & 0xffffffff
+	var region []byte
+	switch {
+	case id == 1:
+		region = r.Stack[:]
+	case id == 2:
+		region = r.Ctx
+	default:
+		for _, m := range r.Maps {
+			if id == m.arenaRegion {
+				region = m.Data
+			}
+		}
+		if region == nil {
+			return nil, errRefBadPtr
+		}
+	}
+	if off+uint64(n) > uint64(len(region)) {
+		return nil, errRefOOB
+	}
+	return region[off : off+uint64(n)], nil
+}
+
+func refLoadLE(b []byte) uint64 {
+	var v uint64
+	for i := len(b) - 1; i >= 0; i-- {
+		v = v<<8 | uint64(b[i])
+	}
+	return v
+}
+
+func refStoreLE(b []byte, v uint64) {
+	for i := range b {
+		b[i] = byte(v)
+		v >>= 8
+	}
+}
+
+// prandom32 transcribes prandom_u32_state with the lazy seeding rule.
+func (r *RefVM) prandom32() uint32 {
+	s := &r.taus
+	if s[0] == 0 {
+		seed := uint32(r.rngState) | 1
+		s[0], s[1], s[2], s[3] = seed^0x9e3779b9, seed^0x7f4a7c15, seed^0x85ebca6b, seed^0xc2b2ae35
+		if s[0] < 2 {
+			s[0] += 2
+		}
+		if s[1] < 8 {
+			s[1] += 8
+		}
+		if s[2] < 16 {
+			s[2] += 16
+		}
+		if s[3] < 128 {
+			s[3] += 128
+		}
+	}
+	s[0] = ((s[0] & 0xfffffffe) << 18) ^ (((s[0] << 6) ^ s[0]) >> 13)
+	s[1] = ((s[1] & 0xfffffff8) << 2) ^ (((s[1] << 2) ^ s[1]) >> 27)
+	s[2] = ((s[2] & 0xfffffff0) << 7) ^ (((s[2] << 13) ^ s[2]) >> 21)
+	s[3] = ((s[3] & 0xffffff80) << 13) ^ (((s[3] << 3) ^ s[3]) >> 12)
+	return s[0] ^ s[1] ^ s[2] ^ s[3]
+}
+
+// mapByObject resolves a map-object pointer to its model.
+func (r *RefVM) mapByObject(ptr uint64) (*RefArray, error) {
+	if ptr&0xffffffff != 0 {
+		return nil, errRefBadPtr
+	}
+	for _, m := range r.Maps {
+		if ptr>>32 == m.objectRegion {
+			return m, nil
+		}
+	}
+	return nil, errRefBadPtr
+}
+
+// helper dispatches the helper subset the differential corpus uses.
+func (r *RefVM) helper(id int32, regs *[isa.NumRegs]uint64) error {
+	var ret uint64
+	switch id {
+	case vm.HelperMapLookup:
+		m, err := r.mapByObject(regs[1])
+		if err != nil {
+			return err
+		}
+		key, err := r.mem(regs[2], 4)
+		if err != nil {
+			return err
+		}
+		idx := refLoadLE(key)
+		if idx < uint64(m.N) {
+			ret = m.arenaRegion<<32 + idx*uint64(m.ValueSize)
+		}
+	case vm.HelperMapUpdate:
+		m, err := r.mapByObject(regs[1])
+		if err != nil {
+			return err
+		}
+		key, err := r.mem(regs[2], 4)
+		if err != nil {
+			return err
+		}
+		val, err := r.mem(regs[3], m.ValueSize)
+		if err != nil {
+			return err
+		}
+		idx := refLoadLE(key)
+		if idx < uint64(m.N) {
+			copy(m.Data[int(idx)*m.ValueSize:], val)
+		} else {
+			ret = ^uint64(0)
+		}
+	case vm.HelperKtimeGetNS:
+		ret = r.Now
+	case vm.HelperGetPrandomU32:
+		ret = uint64(r.prandom32())
+	default:
+		return fmt.Errorf("refvm: unsupported helper %d", id)
+	}
+	regs[0] = ret
+	regs[1], regs[2], regs[3], regs[4], regs[5] = 0, 0, 0, 0, 0
+	return nil
+}
+
+// Run interprets prog over ctx and returns the final register file.
+// The program may carry unresolved PseudoMapFD loads: the reference
+// machine resolves them against its own map table, producing the same
+// pointer bits as the real loader by the shared region discipline.
+func (r *RefVM) Run(prog []isa.Instruction, ctx []byte) ([isa.NumRegs]uint64, error) {
+	var regs [isa.NumRegs]uint64
+	r.Ctx = ctx
+	regs[1] = 2 << 32
+	regs[2] = uint64(len(ctx))
+	regs[10] = 1<<32 + refStackSize
+
+	budget := r.Budget
+	pc := 0
+	step := 0
+	for {
+		if budget <= 0 {
+			return regs, errRefBudget
+		}
+		if pc < 0 || pc >= len(prog) {
+			return regs, fmt.Errorf("%w: pc %d", errRefInstr, pc)
+		}
+		budget--
+		ins := prog[pc]
+		if ins.Dst >= isa.NumRegs || (ins.Src >= isa.NumRegs && ins.Class() != isa.ClassLD) {
+			return regs, fmt.Errorf("%w: register out of range at %d", errRefInstr, pc)
+		}
+		switch ins.Class() {
+		case isa.ClassALU64:
+			src := uint64(int64(ins.Imm))
+			if ins.SrcIsReg() {
+				src = regs[ins.Src]
+			}
+			v, err := refALU64(ins.ALUOp(), regs[ins.Dst], src)
+			if err != nil {
+				return regs, fmt.Errorf("%w at %d", err, pc)
+			}
+			regs[ins.Dst] = v
+		case isa.ClassALU:
+			src := uint32(ins.Imm)
+			if ins.SrcIsReg() {
+				src = uint32(regs[ins.Src])
+			}
+			v, err := refALU32(ins.ALUOp(), uint32(regs[ins.Dst]), src)
+			if err != nil {
+				return regs, fmt.Errorf("%w at %d", err, pc)
+			}
+			regs[ins.Dst] = uint64(v)
+		case isa.ClassJMP:
+			switch ins.JmpOp() {
+			case isa.JmpExit:
+				if r.TraceFn != nil {
+					r.TraceFn(step, pc, ins, &regs)
+				}
+				return regs, nil
+			case isa.JmpCall:
+				if ins.Src == isa.PseudoKfuncCall {
+					return regs, fmt.Errorf("refvm: kfuncs unsupported (id %d at %d)", ins.Imm, pc)
+				}
+				if err := r.helper(ins.Imm, &regs); err != nil {
+					return regs, err
+				}
+			case isa.JmpJA:
+				pc += int(ins.Off)
+			default:
+				src := uint64(int64(ins.Imm))
+				if ins.SrcIsReg() {
+					src = regs[ins.Src]
+				}
+				if refJump(ins.JmpOp(), regs[ins.Dst], src) {
+					pc += int(ins.Off)
+				}
+			}
+		case isa.ClassJMP32:
+			src := uint64(uint32(ins.Imm))
+			if ins.SrcIsReg() {
+				src = uint64(uint32(regs[ins.Src]))
+			}
+			if refJump(ins.JmpOp(), uint64(uint32(regs[ins.Dst])), src) {
+				pc += int(ins.Off)
+			}
+		case isa.ClassLDX:
+			b, err := r.mem(regs[ins.Src]+uint64(int64(ins.Off)), ins.MemSize())
+			if err != nil {
+				return regs, fmt.Errorf("%w at %d", err, pc)
+			}
+			regs[ins.Dst] = refLoadLE(b)
+		case isa.ClassSTX:
+			b, err := r.mem(regs[ins.Dst]+uint64(int64(ins.Off)), ins.MemSize())
+			if err != nil {
+				return regs, fmt.Errorf("%w at %d", err, pc)
+			}
+			refStoreLE(b, regs[ins.Src])
+		case isa.ClassST:
+			b, err := r.mem(regs[ins.Dst]+uint64(int64(ins.Off)), ins.MemSize())
+			if err != nil {
+				return regs, fmt.Errorf("%w at %d", err, pc)
+			}
+			refStoreLE(b, uint64(int64(ins.Imm)))
+		case isa.ClassLD:
+			if !ins.IsLoadImm64() || pc+1 >= len(prog) {
+				return regs, fmt.Errorf("%w: ld at %d", errRefInstr, pc)
+			}
+			hi := prog[pc+1]
+			if ins.Src == isa.PseudoMapFD {
+				if int(ins.Imm) < 0 || int(ins.Imm) >= len(r.Maps) {
+					return regs, fmt.Errorf("refvm: unknown map fd %d at %d", ins.Imm, pc)
+				}
+				regs[ins.Dst] = r.Maps[ins.Imm].objectRegion << 32
+			} else {
+				regs[ins.Dst] = uint64(uint32(ins.Imm)) | uint64(uint32(hi.Imm))<<32
+			}
+			pc++
+		default:
+			return regs, fmt.Errorf("%w: class %#x at %d", errRefInstr, ins.Op, pc)
+		}
+		if r.TraceFn != nil {
+			r.TraceFn(step, pc, ins, &regs)
+		}
+		step++
+		pc++
+	}
+}
+
+func refALU64(op uint8, dst, src uint64) (uint64, error) {
+	switch op {
+	case isa.ALUAdd:
+		return dst + src, nil
+	case isa.ALUSub:
+		return dst - src, nil
+	case isa.ALUMul:
+		return dst * src, nil
+	case isa.ALUDiv:
+		if src == 0 {
+			return 0, nil
+		}
+		return dst / src, nil
+	case isa.ALUMod:
+		if src == 0 {
+			return dst, nil
+		}
+		return dst % src, nil
+	case isa.ALUOr:
+		return dst | src, nil
+	case isa.ALUAnd:
+		return dst & src, nil
+	case isa.ALULsh:
+		return dst << (src & 63), nil
+	case isa.ALURsh:
+		return dst >> (src & 63), nil
+	case isa.ALUArsh:
+		return uint64(int64(dst) >> (src & 63)), nil
+	case isa.ALUXor:
+		return dst ^ src, nil
+	case isa.ALUMov:
+		return src, nil
+	case isa.ALUNeg:
+		return -dst, nil
+	}
+	return 0, errRefInstr
+}
+
+func refALU32(op uint8, dst, src uint32) (uint32, error) {
+	switch op {
+	case isa.ALUAdd:
+		return dst + src, nil
+	case isa.ALUSub:
+		return dst - src, nil
+	case isa.ALUMul:
+		return dst * src, nil
+	case isa.ALUDiv:
+		if src == 0 {
+			return 0, nil
+		}
+		return dst / src, nil
+	case isa.ALUMod:
+		if src == 0 {
+			return dst, nil
+		}
+		return dst % src, nil
+	case isa.ALUOr:
+		return dst | src, nil
+	case isa.ALUAnd:
+		return dst & src, nil
+	case isa.ALULsh:
+		return dst << (src & 31), nil
+	case isa.ALURsh:
+		return dst >> (src & 31), nil
+	case isa.ALUArsh:
+		return uint32(int32(dst) >> (src & 31)), nil
+	case isa.ALUXor:
+		return dst ^ src, nil
+	case isa.ALUMov:
+		return src, nil
+	case isa.ALUNeg:
+		return -dst, nil
+	}
+	return 0, errRefInstr
+}
+
+func refJump(op uint8, dst, src uint64) bool {
+	switch op {
+	case isa.JmpJEQ:
+		return dst == src
+	case isa.JmpJNE:
+		return dst != src
+	case isa.JmpJGT:
+		return dst > src
+	case isa.JmpJGE:
+		return dst >= src
+	case isa.JmpJLT:
+		return dst < src
+	case isa.JmpJLE:
+		return dst <= src
+	case isa.JmpJSET:
+		return dst&src != 0
+	case isa.JmpJSGT:
+		return int64(dst) > int64(src)
+	case isa.JmpJSGE:
+		return int64(dst) >= int64(src)
+	case isa.JmpJSLT:
+		return int64(dst) < int64(src)
+	case isa.JmpJSLE:
+		return int64(dst) <= int64(src)
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+package difftest
+
+import (
+	"errors"
+	"testing"
+
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/verifier"
+)
+
+// genCtx builds the deterministic 64-byte context every differential
+// run shares.
+func genCtx() []byte {
+	ctx := make([]byte, 64)
+	for i := range ctx {
+		ctx[i] = byte(i*7 + 1)
+	}
+	return ctx
+}
+
+// TestVMDifferential cross-checks the production interpreter against
+// the reference interpreter on a seeded corpus of generated
+// verifier-valid programs: final registers, stack, context, map state,
+// and verdict must all agree.
+func TestVMDifferential(t *testing.T) {
+	trials := 500
+	if testing.Short() {
+		trials = 50
+	}
+	executed, rejected := 0, 0
+	for seed := uint64(0); seed < uint64(trials); seed++ {
+		prog, err := GenProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: generator emitted an unassemblable program: %v", seed, err)
+		}
+		err = CrossCheck(prog, genCtx())
+		if errors.Is(err, verifier.ErrRejected) {
+			rejected++
+			continue
+		}
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, isa.Disassemble(prog))
+		}
+		executed++
+	}
+	t.Logf("vm differential: %d executed, %d rejected", executed, rejected)
+	if executed < trials*3/4 {
+		t.Fatalf("only %d/%d generated programs executed — generator validity regressed", executed, trials)
+	}
+}

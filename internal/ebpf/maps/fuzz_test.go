@@ -1,0 +1,272 @@
+package maps_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"enetstl/internal/ebpf/maps"
+)
+
+// The fuzzed maps are deliberately tiny: a 16-key space over an 8-entry
+// table forces collisions, tombstone reuse, capacity rejection, and LRU
+// eviction within a few dozen operations.
+const (
+	fuzzKeySpace   = 16
+	fuzzMaxEntries = 8
+	fuzzKeySize    = 4
+	fuzzValueSize  = 8
+)
+
+// fuzzOp decodes one operation from a 3-byte group: selector, key index
+// (folded into the small key space), and a value seed expanded to a full
+// value. Deterministic decoding means every crashing input replays.
+func fuzzOp(group []byte) (op int, key, value []byte) {
+	op = int(group[0]) % 3
+	key = make([]byte, fuzzKeySize)
+	binary.LittleEndian.PutUint32(key, uint32(group[1])%fuzzKeySpace)
+	value = make([]byte, fuzzValueSize)
+	for i := range value {
+		value[i] = group[2] + byte(i)
+	}
+	return op, key, value
+}
+
+// modelMap is the executable specification both hash flavours are
+// checked against: a Go map plus, for the LRU flavour, a recency order.
+type modelMap struct {
+	m     map[string][]byte
+	order []string // front = most recently used; only for LRU
+	lru   bool
+	max   int
+}
+
+func newModel(lru bool) *modelMap {
+	return &modelMap{m: make(map[string][]byte), lru: lru, max: fuzzMaxEntries}
+}
+
+func (mm *modelMap) touch(k string) {
+	for i, s := range mm.order {
+		if s == k {
+			mm.order = append(mm.order[:i], mm.order[i+1:]...)
+			break
+		}
+	}
+	mm.order = append([]string{k}, mm.order...)
+}
+
+// update mirrors Hash.Update / LRUHash.Update: overwrite refreshes,
+// insert at capacity either rejects (hash) or evicts the LRU (lru).
+func (mm *modelMap) update(key, value []byte) error {
+	k := string(key)
+	if _, ok := mm.m[k]; ok {
+		mm.m[k] = append([]byte(nil), value...)
+		if mm.lru {
+			mm.touch(k)
+		}
+		return nil
+	}
+	if len(mm.m) >= mm.max {
+		if !mm.lru {
+			return maps.ErrNoSpace
+		}
+		victim := mm.order[len(mm.order)-1]
+		mm.order = mm.order[:len(mm.order)-1]
+		delete(mm.m, victim)
+	}
+	mm.m[k] = append([]byte(nil), value...)
+	if mm.lru {
+		mm.touch(k)
+	}
+	return nil
+}
+
+func (mm *modelMap) lookup(key []byte) []byte {
+	v, ok := mm.m[string(key)]
+	if !ok {
+		return nil
+	}
+	if mm.lru {
+		mm.touch(string(key))
+	}
+	return v
+}
+
+func (mm *modelMap) delete(key []byte) error {
+	k := string(key)
+	if _, ok := mm.m[k]; !ok {
+		return maps.ErrNotFound
+	}
+	delete(mm.m, k)
+	if mm.lru {
+		for i, s := range mm.order {
+			if s == k {
+				mm.order = append(mm.order[:i], mm.order[i+1:]...)
+				break
+			}
+		}
+	}
+	return nil
+}
+
+// lenOf reads the entry count off either hash flavour.
+func lenOf(m maps.Map) int {
+	switch h := m.(type) {
+	case *maps.Hash:
+		return h.Len()
+	case *maps.LRUHash:
+		return h.Len()
+	}
+	return -1
+}
+
+// driveModel replays one decoded op sequence against a real map and the
+// model, asserting result-for-result agreement.
+func driveModel(t *testing.T, m maps.Map, model *modelMap, data []byte) {
+	t.Helper()
+	for i := 0; i+3 <= len(data); i += 3 {
+		op, key, value := fuzzOp(data[i : i+3])
+		switch op {
+		case 0:
+			gotErr := m.Update(key, value)
+			wantErr := model.update(key, value)
+			if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, wantErr)) {
+				t.Fatalf("op %d: Update(%x) = %v, model says %v", i/3, key, gotErr, wantErr)
+			}
+		case 1:
+			got := m.Lookup(key)
+			want := model.lookup(key)
+			if (got == nil) != (want == nil) {
+				t.Fatalf("op %d: Lookup(%x) presence = %v, model says %v", i/3, key, got != nil, want != nil)
+			}
+			if got != nil && !bytes.Equal(got, want) {
+				t.Fatalf("op %d: Lookup(%x) = %x, model says %x", i/3, key, got, want)
+			}
+		case 2:
+			gotErr := m.Delete(key)
+			wantErr := model.delete(key)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("op %d: Delete(%x) = %v, model says %v", i/3, key, gotErr, wantErr)
+			}
+		}
+		if n := lenOf(m); n != len(model.m) {
+			t.Fatalf("op %d: Len() = %d, model holds %d", i/3, n, len(model.m))
+		}
+	}
+	// Post-sequence sweep: every key in the model must be present with
+	// the right bytes, every key outside it absent. Read through the
+	// non-refreshing path where possible so the sweep itself does not
+	// perturb LRU order mid-check (order no longer matters here).
+	var key [fuzzKeySize]byte
+	for k := 0; k < fuzzKeySpace; k++ {
+		binary.LittleEndian.PutUint32(key[:], uint32(k))
+		got := m.Lookup(key[:])
+		want, ok := model.m[string(key[:])]
+		if (got != nil) != ok {
+			t.Fatalf("sweep key %d: presence = %v, model says %v", k, got != nil, ok)
+		}
+		if got != nil && !bytes.Equal(got, want) {
+			t.Fatalf("sweep key %d: value = %x, model says %x", k, got, want)
+		}
+	}
+}
+
+// FuzzHashModel cross-checks the open-addressed Hash against the model:
+// update/overwrite, ErrNoSpace at capacity, tombstone reuse after
+// deletes, and exact entry counts.
+func FuzzHashModel(f *testing.F) {
+	f.Add([]byte{0, 1, 1})
+	f.Add([]byte{0, 1, 1, 1, 1, 0, 2, 1, 0})
+	// Fill past capacity, then churn deletes into reinsertions.
+	var seed []byte
+	for k := byte(0); k < 12; k++ {
+		seed = append(seed, 0, k, k+1)
+	}
+	for k := byte(0); k < 6; k++ {
+		seed = append(seed, 2, k, 0, 0, k+8, k)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := maps.Must(maps.NewHash(fuzzKeySize, fuzzValueSize, fuzzMaxEntries))
+		driveModel(t, h, newModel(false), data)
+	})
+}
+
+// FuzzLRUHashModel cross-checks the LRU hash against the model,
+// including the recency discipline: lookups and overwrites refresh, and
+// inserting at capacity evicts exactly the least recently used key.
+func FuzzLRUHashModel(f *testing.F) {
+	f.Add([]byte{0, 1, 1})
+	// Fill to capacity, refresh the oldest via lookup, then insert two
+	// more: the eviction order must skip the refreshed key.
+	var seed []byte
+	for k := byte(0); k < fuzzMaxEntries; k++ {
+		seed = append(seed, 0, k, k+1)
+	}
+	seed = append(seed, 1, 0, 0)
+	seed = append(seed, 0, 13, 9, 0, 14, 9)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l := maps.Must(maps.NewLRUHash(fuzzKeySize, fuzzValueSize, fuzzMaxEntries))
+		driveModel(t, l, newModel(true), data)
+	})
+}
+
+// FuzzArrayModel cross-checks the array map against a plain slice,
+// including out-of-range and wrong-size keys.
+func FuzzArrayModel(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 1, 0})
+	f.Add([]byte{0, 200, 1}) // out-of-range index
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 4
+		a := maps.Must(maps.NewArray(fuzzValueSize, n))
+		model := make([]byte, n*fuzzValueSize)
+		for i := 0; i+3 <= len(data); i += 3 {
+			op := int(data[i]) % 3
+			idx := uint32(data[i+1]) % (n * 2) // half the space is out of range
+			var key [4]byte
+			binary.LittleEndian.PutUint32(key[:], idx)
+			value := make([]byte, fuzzValueSize)
+			for j := range value {
+				value[j] = data[i+2] + byte(j)
+			}
+			inRange := idx < n
+			switch op {
+			case 0:
+				err := a.Update(key[:], value)
+				if inRange {
+					if err != nil {
+						t.Fatalf("op %d: in-range update failed: %v", i/3, err)
+					}
+					copy(model[int(idx)*fuzzValueSize:], value)
+				} else if !errors.Is(err, maps.ErrNotFound) {
+					t.Fatalf("op %d: out-of-range update = %v, want ErrNotFound", i/3, err)
+				}
+			case 1:
+				got := a.Lookup(key[:])
+				if inRange {
+					want := model[int(idx)*fuzzValueSize : (int(idx)+1)*fuzzValueSize]
+					if !bytes.Equal(got, want) {
+						t.Fatalf("op %d: lookup(%d) = %x, model %x", i/3, idx, got, want)
+					}
+				} else if got != nil {
+					t.Fatalf("op %d: out-of-range lookup returned a value", i/3)
+				}
+			case 2:
+				err := a.Delete(key[:])
+				if inRange {
+					if err != nil {
+						t.Fatalf("op %d: in-range delete failed: %v", i/3, err)
+					}
+					clear(model[int(idx)*fuzzValueSize : (int(idx)+1)*fuzzValueSize])
+				} else if !errors.Is(err, maps.ErrNotFound) {
+					t.Fatalf("op %d: out-of-range delete = %v, want ErrNotFound", i/3, err)
+				}
+			}
+		}
+		if !bytes.Equal(a.Data(), model) {
+			t.Fatalf("final array state diverged from model")
+		}
+	})
+}

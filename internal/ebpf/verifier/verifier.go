@@ -239,6 +239,13 @@ func Verify(machine *vm.VM, prog []isa.Instruction, opts Options) error {
 	}
 	for i := 0; i < len(prog); i++ {
 		c.valid[i] = true
+		// Reject out-of-range register fields up front: no instruction
+		// class encodes a register >= NumRegs (pseudo-source values on
+		// calls and ld_imm64 are all below it), and the per-class steps
+		// index the register file with these fields.
+		if !prog[i].Dst.Valid() || !prog[i].Src.Valid() {
+			return rejectf(i, "bad register field (dst r%d, src r%d)", prog[i].Dst, prog[i].Src)
+		}
 		if prog[i].IsLoadImm64() {
 			if i+1 >= len(prog) {
 				return rejectf(i, "truncated ld_imm64")

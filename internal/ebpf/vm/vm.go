@@ -104,6 +104,12 @@ type VM struct {
 	// Budget is the per-run instruction limit (default 4M).
 	Budget int
 
+	// RegSink, when non-nil, receives a copy of the full register file at
+	// program exit (the JmpExit path). The differential-testing harness
+	// compares it against the reference interpreter's registers; nil (the
+	// default) keeps the hot path to a single predictable branch.
+	RegSink *[isa.NumRegs]uint64
+
 	cpu int
 
 	// InsnCount accumulates executed instructions across runs; the
@@ -633,6 +639,9 @@ func (vm *VM) exec(p *Program, ctx []byte, ps *ProgStats) (uint64, error) {
 			jop := op & 0xf0
 			switch jop {
 			case isa.JmpExit:
+				if vm.RegSink != nil {
+					*vm.RegSink = r
+				}
 				if vm.lockHeld != 0 {
 					vm.lockHeld = 0
 					vm.lockWord = 0

@@ -1,0 +1,28 @@
+// Verdict-stream replay: the differential-equivalence harness compares
+// flavours verdict-for-verdict, so it needs the full per-packet verdict
+// vector rather than the aggregate counts Throughput keeps.
+
+package harness
+
+import (
+	"fmt"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+// Verdicts replays trace through inst once and returns the verdict of
+// every packet in order. Any processing error aborts the replay: the
+// differential harness treats errors as divergences in their own right
+// and compares error positions, so the packet index is reported.
+func Verdicts(inst nf.Instance, trace *pktgen.Trace) ([]uint64, error) {
+	out := make([]uint64, len(trace.Packets))
+	for i := range trace.Packets {
+		v, err := inst.Process(trace.Packets[i][:])
+		if err != nil {
+			return out[:i], fmt.Errorf("packet %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

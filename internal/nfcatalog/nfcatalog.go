@@ -42,11 +42,14 @@ func Names() []string {
 	}
 }
 
-// built is one constructed NF plus its chaos wiring.
+// built is one constructed NF plus its chaos wiring and, for the
+// sketch/filter NFs, the control-plane estimator the differential
+// harness probes after a replay.
 type built struct {
 	inst  nf.Instance
 	arm   func(p *faultinject.Plane)
 	check func() error
+	est   func(key []byte) uint32
 }
 
 // Build constructs an NF instance, populating lookup structures from
@@ -97,13 +100,13 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		if err != nil {
 			return built{}, err
 		}
-		return built{inst: s.Instance}, nil
+		return built{inst: s.Instance, est: s.Estimate}, nil
 	case "nitrosketch":
 		s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4})
 		if err != nil {
 			return built{}, err
 		}
-		return built{inst: s.Instance, arm: func(p *faultinject.Plane) {
+		return built{inst: s.Instance, est: s.Estimate, arm: func(p *faultinject.Plane) {
 			if g := s.GeoPool(); g != nil {
 				g.FailRefill = p.Site(faultinject.SiteRefill).Fire
 			}
@@ -125,7 +128,7 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		for i := range trace.FlowKeys {
 			v.Insert(trace.FlowKeys[i][:], i%32)
 		}
-		return built{inst: v.Instance}, nil
+		return built{inst: v.Instance, est: v.Query}, nil
 	case "eiffel":
 		q, err := eiffel.New(flavor, eiffel.Config{Levels: 2})
 		if err != nil {
@@ -160,7 +163,7 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		if err != nil {
 			return built{}, err
 		}
-		return built{inst: h.Instance, arm: func(p *faultinject.Plane) {
+		return built{inst: h.Instance, est: h.Estimate, arm: func(p *faultinject.Plane) {
 			if pl := h.Pool(); pl != nil {
 				pl.FailRefill = p.Site(faultinject.SiteRefill).Fire
 			}
@@ -177,7 +180,7 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		if err != nil {
 			return built{}, err
 		}
-		return built{inst: s.Instance}, nil
+		return built{inst: s.Instance, est: s.Estimate}, nil
 	case "conntrack":
 		// Sized below the flow count so the LRU churns and the update
 		// path stays hot for the whole replay.

@@ -1,0 +1,109 @@
+package nhash_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"enetstl/internal/nhash"
+)
+
+// refFastHash64 is an independent transcription of the fasthash
+// algorithm, written against the eBPF emitter's definition rather than
+// the Go one: explicit padding buffer for the tail instead of a
+// byte-reversed accumulation loop, binary.LittleEndian instead of a
+// hand-rolled le64. Agreement between two structurally different
+// implementations is what pins the hash — the sketches of all three NF
+// flavours assume the exact same bits.
+func refFastHash64(key []byte, seed uint64) uint64 {
+	const (
+		m = 0x880355f21e6d1965
+		x = 0x2127599bf4325c37
+	)
+	mix := func(h uint64) uint64 {
+		h ^= h >> 23
+		h *= x
+		h ^= h >> 47
+		return h
+	}
+	h := seed ^ uint64(len(key))*m
+	for len(key) >= 8 {
+		h ^= mix(binary.LittleEndian.Uint64(key))
+		h *= m
+		key = key[8:]
+	}
+	if len(key) > 0 {
+		var pad [8]byte
+		copy(pad[:], key)
+		h ^= mix(binary.LittleEndian.Uint64(pad[:]))
+		h *= m
+	}
+	return mix(h)
+}
+
+// FuzzFastHash cross-checks FastHash64 against the independent
+// reference on arbitrary keys and seeds, and pins the 32-bit xor-fold.
+func FuzzFastHash(f *testing.F) {
+	f.Add([]byte(nil), uint64(0))
+	f.Add([]byte("a"), uint64(1))
+	f.Add([]byte("12345678"), uint64(0x9e3779b97f4a7c15)) // exactly one word
+	f.Add([]byte("123456789"), uint64(1))                 // word + 1 tail byte
+	f.Add([]byte("abcdefg"), nhash.Seed(3))               // pure tail
+	f.Add(make([]byte, 40), ^uint64(0))
+	f.Fuzz(func(t *testing.T, key []byte, seed uint64) {
+		got := nhash.FastHash64(key, seed)
+		want := refFastHash64(key, seed)
+		if got != want {
+			t.Fatalf("FastHash64(%x, %#x) = %#x, reference says %#x", key, seed, got, want)
+		}
+		if g, w := nhash.FastHash32(key, seed), uint32(got)^uint32(got>>32); g != w {
+			t.Fatalf("FastHash32(%x, %#x) = %#x, want xor-fold %#x", key, seed, g, w)
+		}
+	})
+}
+
+// FuzzFusedOps checks the fused post-hashing operations against their
+// compositional definitions: HashCnt/HashMin must behave like "hash then
+// index", and a key passed to HashSet must always pass HashTest (the
+// Bloom no-false-negative guarantee the flavour equivalence suite also
+// leans on).
+func FuzzFusedOps(f *testing.F) {
+	f.Add([]byte("flow"), uint8(4))
+	f.Add([]byte{0}, uint8(1))
+	f.Add([]byte("0123456789abcdef"), uint8(8))
+	f.Fuzz(func(t *testing.T, key []byte, dRaw uint8) {
+		d := int(dRaw)%8 + 1
+		const w = 64 // counters per row; power of two
+		m := nhash.Matrix{Rows: d, Mask: w - 1}
+		buf := make([]uint32, d*w)
+		nhash.HashCnt(buf, m, key)
+
+		// Compositional replay via HashN: same cells, count exactly 1.
+		hashes := make([]uint32, d)
+		nhash.HashN(key, d, hashes)
+		for i := 0; i < d; i++ {
+			if c := buf[i*w+int(hashes[i]&m.Mask)]; c != 1 {
+				t.Fatalf("row %d: HashCnt incremented a different cell than HashN selects (count %d)", i, c)
+			}
+		}
+		if min := nhash.HashMin(buf, m, key); min != 1 {
+			t.Fatalf("HashMin = %d after one HashCnt, want 1", min)
+		}
+
+		// Per-row seeds must match the exposed Seed schedule.
+		for i := 0; i < d; i++ {
+			if hashes[i] != nhash.FastHash32(key, nhash.Seed(i)) {
+				t.Fatalf("row %d: HashN disagrees with FastHash32(Seed(%d))", i, i)
+			}
+		}
+
+		const nbits = 1 << 10
+		bitmap := make([]uint64, nbits/64)
+		if nhash.HashTest(bitmap, d, nbits-1, key) {
+			t.Fatal("HashTest claims membership in an empty bitmap")
+		}
+		nhash.HashSet(bitmap, d, nbits-1, key)
+		if !nhash.HashTest(bitmap, d, nbits-1, key) {
+			t.Fatalf("false negative: HashTest fails right after HashSet(%x)", key)
+		}
+	})
+}

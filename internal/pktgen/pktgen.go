@@ -82,6 +82,21 @@ func Generate(cfg Config) *Trace {
 	return t
 }
 
+// Clone deep-copies the trace. Differential replay needs bit-identical
+// input streams per flavour, and op-mix application mutates packets in
+// place, so each instance under comparison replays its own clone.
+func (t *Trace) Clone() *Trace {
+	c := &Trace{
+		Packets:  make([]Packet, len(t.Packets)),
+		FlowKeys: make([][nf.KeyLen]byte, len(t.FlowKeys)),
+		FlowOf:   make([]int32, len(t.FlowOf)),
+	}
+	copy(c.Packets, t.Packets)
+	copy(c.FlowKeys, t.FlowKeys)
+	copy(c.FlowOf, t.FlowOf)
+	return c
+}
+
 // SetOp writes the operation selector of packet p.
 func (p *Packet) SetOp(op uint32) {
 	binary.LittleEndian.PutUint32(p[nf.OffOp:], op)

@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// qRNG is a tiny splitmix64 stream so the property tests are seeded and
+// deterministic.
+type qRNG struct{ s uint64 }
+
+func (g *qRNG) next() uint64 {
+	g.s += 0x9e3779b97f4a7c15
+	z := g.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (g *qRNG) float() float64 { return float64(g.next()>>11) / (1 << 53) }
+
+// TestQuantileEdgeCases pins the degenerate inputs the latency harness
+// can legitimately produce: no samples, one sample, and out-of-range p.
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(Quantile(nil, 0.99)) {
+		t.Error("empty sample: want NaN")
+	}
+	if !math.IsNaN(Quantile([]float64{}, 0)) {
+		t.Error("empty non-nil sample: want NaN")
+	}
+	for _, p := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := Quantile([]float64{42}, p); got != 42 {
+			t.Errorf("single sample, p=%v: got %v, want 42", p, got)
+		}
+	}
+	xs := []float64{1, 2, 3}
+	if got := Quantile(xs, -0.5); got != 1 {
+		t.Errorf("p<0 must clamp to the minimum, got %v", got)
+	}
+	if got := Quantile(xs, 1.5); got != 3 {
+		t.Errorf("p>1 must clamp to the maximum, got %v", got)
+	}
+}
+
+// TestQuantileDuplicateHeavy: when a value dominates the sample (the
+// shape of latency traces, where most packets take the fast path), the
+// median and surrounding quantiles must sit exactly on that value, and
+// every quantile must stay inside [min, max].
+func TestQuantileDuplicateHeavy(t *testing.T) {
+	xs := make([]float64, 0, 101)
+	for i := 0; i < 97; i++ {
+		xs = append(xs, 5)
+	}
+	xs = append(xs, 1, 5, 9, 100)
+	sort.Float64s(xs)
+	for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := Quantile(xs, p); got != 5 {
+			t.Errorf("p=%v over the 97%%-duplicate sample: got %v, want exactly 5", p, got)
+		}
+	}
+	if got := Quantile(xs, 1); got != 100 {
+		t.Errorf("p=1: got %v, want the maximum 100", got)
+	}
+
+	all := []float64{3, 3, 3, 3}
+	for _, p := range []float64{0, 0.33, 0.5, 0.99, 1} {
+		if got := Quantile(all, p); got != 3 {
+			t.Errorf("all-equal sample, p=%v: got %v, want 3", p, got)
+		}
+	}
+}
+
+// TestQuantileExactRanks checks the interpolation against hand-computed
+// ranks, including the n-1 position arithmetic at both ends.
+func TestQuantileExactRanks(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ p, want float64 }{
+		{0, 10},
+		{0.25, 20},
+		{0.5, 30},
+		{0.75, 40},
+		{1, 50},
+		{0.125, 15},  // midway between rank 0 and 1
+		{0.9, 46},    // pos = 3.6 → 40 + 0.6*10
+		{0.99, 49.6}, // pos = 3.96
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v, %v) = %v, want %v", xs, c.p, got, c.want)
+		}
+	}
+}
+
+// TestQuantileProperties fuzzes seeded random samples against the
+// invariants any quantile estimator must satisfy: bounded by [min, max],
+// monotone in p, and exact on ranks that land on sample points.
+func TestQuantileProperties(t *testing.T) {
+	rng := &qRNG{s: 0x5eed}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + int(rng.next()%100)
+		xs := make([]float64, n)
+		for i := range xs {
+			// Duplicate-heavy on odd trials: draw from 4 distinct values.
+			if trial%2 == 1 {
+				xs[i] = float64(rng.next() % 4)
+			} else {
+				xs[i] = rng.float() * 1000
+			}
+		}
+		sort.Float64s(xs)
+
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			q := Quantile(xs, p)
+			if q < xs[0] || q > xs[n-1] {
+				t.Fatalf("trial %d: Quantile(p=%v) = %v outside [%v, %v]",
+					trial, p, q, xs[0], xs[n-1])
+			}
+			if q < prev {
+				t.Fatalf("trial %d: quantiles not monotone in p: %v after %v", trial, q, prev)
+			}
+			prev = q
+		}
+		// Ranks that land exactly on indices must return sample points.
+		for k := 0; k < n; k++ {
+			p := float64(k) / float64(n-1)
+			if got := Quantile(xs, p); math.Abs(got-xs[k]) > 1e-9*math.Max(1, math.Abs(xs[k])) {
+				t.Fatalf("trial %d: exact rank %d/%d: got %v, want %v", trial, k, n-1, got, xs[k])
+			}
+		}
+	}
+}
