@@ -10,11 +10,11 @@ GO ?= go
 # e.g. `make fuzz-smoke FUZZTIME=2m`.
 FUZZTIME ?= 10s
 
-.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry chaos-smoke
+.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-vm bench-vm-smoke chaos-smoke
 
 all: check
 
-check: fmt vet build test race difftest fuzz-smoke chaos-smoke
+check: fmt vet build test race difftest fuzz-smoke chaos-smoke bench-vm-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -62,3 +62,17 @@ bench:
 
 bench-telemetry:
 	$(GO) test -run XX -bench BenchmarkTelemetryOverhead -count 5 ./internal/ebpf/vm/
+
+# Wire-vs-predecoded comparison: the BenchmarkDispatch* suite for the
+# per-micro detail, then the interleaved vmbench harness which refreshes
+# the committed BENCH_vm.json artifact and enforces the >=2x micro
+# geomean the fast path promises. Absolute numbers are host-dependent;
+# only the ratios within one invocation are meaningful.
+bench-vm:
+	$(GO) test -run XX -bench 'BenchmarkDispatch' ./internal/ebpf/vm/
+	$(GO) run ./cmd/vmbench -out BENCH_vm.json -min-geomean 2.0
+
+# Smoke variant for `make check`: short samples, no artifact rewrite,
+# no ratio enforcement (short samples are too noisy to gate on).
+bench-vm-smoke:
+	$(GO) run ./cmd/vmbench -quick

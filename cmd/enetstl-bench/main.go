@@ -25,6 +25,7 @@ func main() {
 		id      = flag.String("experiment", "all", "experiment ID (table1, fig1, table2, fig3a..fig3x, fig4..fig7) or 'all'")
 		packets = flag.Int("packets", 20000, "packets per throughput measurement")
 		trials  = flag.Int("trials", 3, "trials per measurement")
+		shards  = flag.Int("shards", 4, "max RSS shard count for the parallel scaling experiment")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		stats   = flag.Bool("stats", false, "enable VM runtime stats and print metrics exposition after the run")
 		faults  = flag.Bool("faults", false, "run the chaos fault-injection suite over the full NF catalog instead of the paper experiments")
@@ -49,7 +50,7 @@ func main() {
 		vm.SetGlobalStats(true)
 	}
 
-	opts := experiments.Options{Packets: *packets, Trials: *trials}
+	opts := experiments.Options{Packets: *packets, Trials: *trials, Shards: *shards}
 	run := func(r experiments.Runner) {
 		start := time.Now()
 		t, err := r.Run(opts)

@@ -60,6 +60,7 @@ func main() {
 		flows     = flag.Int("flows", 1024, "distinct flows")
 		zipf      = flag.Float64("zipf", 1.1, "zipf skew (0 = uniform)")
 		trials    = flag.Int("trials", 3, "measurement trials")
+		shards    = flag.Int("shards", 1, "RSS shards: hash-partition the trace by flow 5-tuple across N per-CPU instances replaying concurrently")
 		seed      = flag.Int64("seed", 1, "trace seed")
 		disasm    = flag.Bool("disasm", false, "print the NF's bytecode and exit (VM flavours)")
 		stats     = flag.Bool("stats", false, "enable runtime stats (bpf_stats analogue) and print metrics exposition")
@@ -91,6 +92,10 @@ func main() {
 		// Flip before build so VMs created inside NF constructors are
 		// metered, as with sysctl kernel.bpf_stats_enabled.
 		vm.SetGlobalStats(true)
+	}
+	if *shards > 1 {
+		runSharded(*name, flavor, trace, *shards, *trials, *stats)
+		return
 	}
 	inst, err := nfcatalog.Build(*name, flavor, trace)
 	if err != nil {
@@ -158,6 +163,39 @@ func main() {
 		reg.SetHelp("nf_pps", "mean throughput, packets per second")
 		reg.SetHelp("nf_ns_per_pkt", "mean per-packet processing time")
 		reg.SetHelp("nf_latency_ns", "per-packet latency incl. wire term")
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// runSharded replays the trace RSS-style: the NF's op mix is applied
+// to the full trace, the trace is hash-partitioned by flow 5-tuple
+// across N shards, and each shard replays on its own instance (own VM
+// and maps) concurrently. Prints the merged result plus the per-shard
+// breakdown.
+func runSharded(name string, flavor nf.Flavor, trace *pktgen.Trace, shards, trials int, stats bool) {
+	nfcatalog.PrepareTrace(name, trace)
+	sh := nfcatalog.NewSharded(name, flavor)
+	res, err := harness.ParallelRun(trace, shards, sh.Build, trials)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(res)
+	fmt.Printf("merged verdicts: %s\n", res.Verdicts)
+	for _, s := range res.PerShard {
+		fmt.Printf("  shard %d: %6d packets %12.0f pps [%s]\n",
+			s.Shard, s.Packets, s.PPS, s.Verdicts)
+	}
+	if stats && res.Stats != nil {
+		reg := telemetry.NewRegistry()
+		res.Stats.Publish(reg)
+		reg.Gauge("nf_pps",
+			telemetry.L("nf", res.Name), telemetry.L("flavor", res.Flavor),
+			telemetry.L("shards", fmt.Sprint(res.Shards))).Set(res.PPS)
 		fmt.Println()
 		if err := reg.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

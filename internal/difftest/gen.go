@@ -174,49 +174,88 @@ func GenProgram(seed uint64) ([]isa.Instruction, error) {
 	return b.Program()
 }
 
-// CrossCheck verifies prog, then runs it on the real VM and the
-// reference interpreter over the same context bytes and compares the
-// complete final state: error nil-ness, all eleven registers (pointer
-// encodings are deterministic, so raw equality is exact), the stack,
-// the context, and the map arena. A nil error means the machines agree;
-// verifier rejection is reported as ErrRejected for the caller to count.
-func CrossCheck(prog []isa.Instruction, ctx []byte) error {
+// vmRun executes prog on a fresh production VM — wire-format loop or
+// predecoded fast path per wire — and captures the complete observable
+// state: error, final registers, stack, mutated context, map arena.
+func vmRun(prog []isa.Instruction, ctx []byte, wire bool) (sink [isa.NumRegs]uint64, stack, runCtx, mapData []byte, runErr error, loadErr error) {
 	machine := vm.New()
+	machine.SetWireInterp(wire)
 	arr := maps.Must(maps.NewArray(GenMapValueSize, GenMapEntries))
 	machine.RegisterMap(arr)
-	if err := verifier.Verify(machine, prog, verifier.Options{CtxSize: len(ctx)}); err != nil {
-		return err
-	}
 	loaded, err := machine.Load("difftest", prog)
 	if err != nil {
-		return fmt.Errorf("load: %w", err)
+		return sink, nil, nil, nil, nil, err
 	}
-	var sink [isa.NumRegs]uint64
 	machine.RegSink = &sink
-	vmCtx := append([]byte(nil), ctx...)
-	_, vmErr := machine.Run(loaded, vmCtx)
+	runCtx = append([]byte(nil), ctx...)
+	_, runErr = machine.Run(loaded, runCtx)
+	return sink, machine.Stack(), runCtx, arr.Data(), runErr, nil
+}
+
+// CrossCheck verifies prog, then runs it three ways — the predecoded
+// fast-path interpreter, the wire-format reference loop, and the
+// independent reference interpreter — over the same context bytes and
+// compares the complete final state pairwise: error nil-ness, all
+// eleven registers (pointer encodings are deterministic, so raw
+// equality is exact), the stack, the context, and the map arena. The
+// fast and wire paths must agree bit-for-bit even on failure; RefVM
+// agreement is on nil-ness plus success-state equality. A nil return
+// means all three machines agree; verifier rejection is reported as
+// ErrRejected for the caller to count.
+func CrossCheck(prog []isa.Instruction, ctx []byte) error {
+	chk := vm.New()
+	chk.RegisterMap(maps.Must(maps.NewArray(GenMapValueSize, GenMapEntries)))
+	if err := verifier.Verify(chk, prog, verifier.Options{CtxSize: len(ctx)}); err != nil {
+		return err
+	}
+
+	fastRegs, fastStack, fastCtx, fastMap, fastErr, loadErr := vmRun(prog, ctx, false)
+	if loadErr != nil {
+		return fmt.Errorf("load: %w", loadErr)
+	}
+	wireRegs, wireStack, wireCtx, wireMap, wireErr, loadErr := vmRun(prog, ctx, true)
+	if loadErr != nil {
+		return fmt.Errorf("load (wire): %w", loadErr)
+	}
+
+	// Predecoded vs wire-format: the fast path is a pure reimplementation
+	// of the same machine, so even the error text must match.
+	switch {
+	case (fastErr == nil) != (wireErr == nil):
+		return fmt.Errorf("error divergence: fast=%v wire=%v", fastErr, wireErr)
+	case fastErr != nil && fastErr.Error() != wireErr.Error():
+		return fmt.Errorf("error text divergence:\n  fast: %v\n  wire: %v", fastErr, wireErr)
+	case fastRegs != wireRegs:
+		return fmt.Errorf("register divergence:\n  fast: %x\n  wire: %x", fastRegs, wireRegs)
+	case !bytes.Equal(fastStack, wireStack):
+		return fmt.Errorf("stack divergence (fast vs wire)")
+	case !bytes.Equal(fastCtx, wireCtx):
+		return fmt.Errorf("context divergence (fast vs wire)")
+	case !bytes.Equal(fastMap, wireMap):
+		return fmt.Errorf("map state divergence (fast vs wire)")
+	}
 
 	ref := NewRef()
 	ref.AddArray(GenMapValueSize, GenMapEntries)
 	refCtx := append([]byte(nil), ctx...)
 	refRegs, refErr := ref.Run(prog, refCtx)
 
-	if (vmErr == nil) != (refErr == nil) {
-		return fmt.Errorf("error divergence: vm=%v ref=%v", vmErr, refErr)
+	if (fastErr == nil) != (refErr == nil) {
+		return fmt.Errorf("error divergence: vm=%v ref=%v", fastErr, refErr)
 	}
-	if vmErr != nil {
-		return nil // both faulted; error taxonomy is not part of the spec
+	if fastErr != nil {
+		return nil // all three faulted; error taxonomy is not part of the spec
 	}
-	if sink != refRegs {
-		return fmt.Errorf("register divergence:\n  vm : %x\n  ref: %x", sink, refRegs)
+	if fastRegs != refRegs {
+		return fmt.Errorf("register divergence:\n  vm : %x\n  ref: %x", fastRegs, refRegs)
 	}
-	if !bytes.Equal(machine.Stack(), ref.Stack[:]) {
+	if !bytes.Equal(fastStack, ref.Stack[:]) {
 		return fmt.Errorf("stack divergence")
 	}
-	if !bytes.Equal(vmCtx, refCtx) {
+	if !bytes.Equal(fastCtx, refCtx) {
 		return fmt.Errorf("context divergence")
 	}
-	if !bytes.Equal(arr.Data(), ref.Maps[0].Data) {
+	if !bytes.Equal(fastMap, ref.Maps[0].Data) {
 		return fmt.Errorf("map state divergence")
 	}
 	return nil

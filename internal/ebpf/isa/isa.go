@@ -182,6 +182,31 @@ func (ins Instruction) IsExit() bool {
 	return ins.Class() == ClassJMP && ins.JmpOp() == JmpExit
 }
 
+// BranchTargets returns a bitmap over prog marking every instruction
+// index some branch can transfer control to. Call and exit never
+// branch; every other JMP/JMP32 operation is treated conservatively as
+// a potential branch (including the ones the interpreter evaluates to
+// "never taken"), so a consumer that refuses to optimize across marked
+// instructions — the VM's peephole fuser — stays sound even for raw
+// bit patterns the second slot of an LD_IMM64 can spell out.
+// Out-of-range targets are dropped; the interpreter rejects them at
+// runtime anyway.
+func BranchTargets(prog []Instruction) []bool {
+	t := make([]bool, len(prog))
+	for pc, ins := range prog {
+		switch ins.Class() {
+		case ClassJMP, ClassJMP32:
+			if op := ins.JmpOp(); op == JmpCall || op == JmpExit {
+				continue
+			}
+			if d := pc + 1 + int(ins.Off); d >= 0 && d < len(prog) {
+				t[d] = true
+			}
+		}
+	}
+	return t
+}
+
 var aluNames = map[uint8]string{
 	ALUAdd: "add", ALUSub: "sub", ALUMul: "mul", ALUDiv: "div",
 	ALUOr: "or", ALUAnd: "and", ALULsh: "lsh", ALURsh: "rsh",

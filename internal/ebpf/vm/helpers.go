@@ -68,31 +68,53 @@ func HelperName(id int32) string {
 type HelperFn func(vm *VM, a1, a2, a3, a4, a5 uint64) (uint64, error)
 
 // RegisterHelper installs fn under id, replacing any previous helper.
-func (vm *VM) RegisterHelper(id int32, fn HelperFn) { vm.helpers[id] = fn }
+func (vm *VM) RegisterHelper(id int32, fn HelperFn) {
+	vm.helperTab[vm.helperSlot(id)] = fn
+}
 
+// helperSlot returns the dense table index for a helper ID, allocating
+// an empty slot on first sight. The predecoder calls it for every call
+// instruction, so a program loaded before its helper is registered
+// still resolves once registration happens (the slot fills in).
+func (vm *VM) helperSlot(id int32) int32 {
+	if idx, ok := vm.helperIdx[id]; ok {
+		return idx
+	}
+	idx := int32(len(vm.helperTab))
+	vm.helperTab = append(vm.helperTab, nil)
+	vm.helperIdx[id] = idx
+	return idx
+}
+
+// callHelper is the wire-loop entry: it resolves the ID through the
+// slot map, then shares the dispatch path with the fast loop.
 func (vm *VM) callHelper(id int32, r *[11]uint64) error {
-	fn, ok := vm.helpers[id]
+	idx, ok := vm.helperIdx[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoHelper, id)
 	}
-	if ps := vm.curProg; ps != nil {
-		start := time.Now()
-		ret, err := fn(vm, r[1], r[2], r[3], r[4], r[5])
-		cs := ps.callStats(ps.Helpers, id, HelperName(id))
-		cs.Count++
-		cs.Ns += uint64(time.Since(start).Nanoseconds())
-		if err != nil {
-			return err
-		}
-		r[0] = ret
-		return nil
-	}
-	ret, err := fn(vm, r[1], r[2], r[3], r[4], r[5])
+	ret, err := vm.invokeHelper(idx, id, r[1], r[2], r[3], r[4], r[5])
 	if err != nil {
 		return err
 	}
 	r[0] = ret
 	return nil
+}
+
+func (vm *VM) invokeHelper(idx, id int32, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+	fn := vm.helperTab[idx]
+	if fn == nil {
+		return 0, fmt.Errorf("%w: id %d", ErrNoHelper, id)
+	}
+	if ps := vm.curProg; ps != nil {
+		start := time.Now()
+		ret, err := fn(vm, a1, a2, a3, a4, a5)
+		cs := ps.callStats(ps.Helpers, id, HelperName(id))
+		cs.Count++
+		cs.Ns += uint64(time.Since(start).Nanoseconds())
+		return ret, err
+	}
+	return fn(vm, a1, a2, a3, a4, a5)
 }
 
 func (vm *VM) mapFromPtr(p uint64) (mapIdx int, ok bool) {

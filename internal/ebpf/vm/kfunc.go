@@ -92,41 +92,71 @@ func (vm *VM) RegisterKfunc(k *Kfunc) {
 	if k.ID == 0 {
 		panic("vm: kfunc ID 0 is reserved")
 	}
-	vm.kfuncs[k.ID] = k
+	vm.kfuncTab[vm.kfuncSlot(k.ID)] = k
+}
+
+// kfuncSlot returns the dense table index for a kfunc ID, allocating an
+// empty slot on first sight (see helperSlot).
+func (vm *VM) kfuncSlot(id int32) int32 {
+	if idx, ok := vm.kfuncIdx[id]; ok {
+		return idx
+	}
+	idx := int32(len(vm.kfuncTab))
+	vm.kfuncTab = append(vm.kfuncTab, nil)
+	vm.kfuncIdx[id] = idx
+	return idx
 }
 
 // KfuncByID returns the registered kfunc with the given ID, or nil.
-func (vm *VM) KfuncByID(id int32) *Kfunc { return vm.kfuncs[id] }
+func (vm *VM) KfuncByID(id int32) *Kfunc {
+	idx, ok := vm.kfuncIdx[id]
+	if !ok {
+		return nil
+	}
+	return vm.kfuncTab[idx]
+}
 
+// callKfunc is the wire-loop entry: ID resolved through the slot map,
+// dispatch shared with the fast loop.
 func (vm *VM) callKfunc(id int32, r *[11]uint64) error {
-	k, ok := vm.kfuncs[id]
+	idx, ok := vm.kfuncIdx[id]
 	if !ok {
 		return fmt.Errorf("%w: id %d", ErrNoKfunc, id)
+	}
+	ret, err := vm.invokeKfunc(idx, id, r[1], r[2], r[3], r[4], r[5])
+	if err != nil {
+		return err
+	}
+	r[0] = ret
+	return nil
+}
+
+func (vm *VM) invokeKfunc(idx, id int32, a1, a2, a3, a4, a5 uint64) (uint64, error) {
+	k := vm.kfuncTab[idx]
+	if k == nil {
+		return 0, fmt.Errorf("%w: id %d", ErrNoKfunc, id)
 	}
 	if ff := vm.kfuncFault; ff != nil && k.Meta.ErrInject {
 		if ret, fire := ff(k); fire {
 			// Injected failure: the kfunc body never runs, R0 gets the
 			// error value. The caller still clobbers R1-R5.
-			r[0] = ret
-			return nil
+			return ret, nil
 		}
 	}
 	if ps := vm.curProg; ps != nil {
 		start := time.Now()
-		ret, err := k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
+		ret, err := k.Impl(vm, a1, a2, a3, a4, a5)
 		cs := ps.callStats(ps.Kfuncs, id, k.Name)
 		cs.Count++
 		cs.Ns += uint64(time.Since(start).Nanoseconds())
 		if err != nil {
-			return fmt.Errorf("kfunc %s: %w", k.Name, err)
+			return 0, fmt.Errorf("kfunc %s: %w", k.Name, err)
 		}
-		r[0] = ret
-		return nil
+		return ret, nil
 	}
-	ret, err := k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
+	ret, err := k.Impl(vm, a1, a2, a3, a4, a5)
 	if err != nil {
-		return fmt.Errorf("kfunc %s: %w", k.Name, err)
+		return 0, fmt.Errorf("kfunc %s: %w", k.Name, err)
 	}
-	r[0] = ret
-	return nil
+	return ret, nil
 }

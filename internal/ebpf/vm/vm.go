@@ -51,8 +51,13 @@ const (
 type region struct {
 	kind     uint8
 	writable bool
-	data     []byte
-	m        maps.ArenaMap
+	// owned marks a backing array allocated by the VM itself (AllocMem):
+	// freeRegion keeps the buffer and AllocMem reuses it, so per-packet
+	// obj_new/obj_drop churn settles into a zero-allocation steady state.
+	// Adopted slices (AdoptMem) alias caller memory and are never reused.
+	owned bool
+	data  []byte
+	m     maps.ArenaMap
 }
 
 // Errors reported by the interpreter.
@@ -89,8 +94,14 @@ type VM struct {
 	// arena region ids, parallel to mapsByFD: one id per arena.
 	mapArenas [][]uint64
 
-	helpers map[int32]HelperFn
-	kfuncs  map[int32]*Kfunc
+	// Helper and kfunc registries: a dense table indexed by the slot the
+	// predecoder resolves call instructions to, plus the id→slot map used
+	// at registration/predecode time. The wire-format loop routes through
+	// the same tables, so late registration works on both paths.
+	helperIdx map[int32]int32
+	helperTab []HelperFn
+	kfuncIdx  map[int32]int32
+	kfuncTab  []*Kfunc
 
 	objects     []any
 	freeObjects []int
@@ -111,6 +122,10 @@ type VM struct {
 	RegSink *[isa.NumRegs]uint64
 
 	cpu int
+
+	// wire selects the wire-format reference interpreter instead of the
+	// predecoded fast path; the differential suite runs both.
+	wire bool
 
 	// InsnCount accumulates executed instructions across runs; the
 	// harness uses it for Fig. 1 style behaviour accounting.
@@ -136,11 +151,11 @@ type VM struct {
 // New creates a VM with an empty map table and the built-in helpers.
 func New() *VM {
 	vm := &VM{
-		regions:  make([]region, 1, 64), // region 0 reserved
-		helpers:  make(map[int32]HelperFn),
-		kfuncs:   make(map[int32]*Kfunc),
-		rngState: 0x9e3779b97f4a7c15,
-		Budget:   1 << 22,
+		regions:   make([]region, 1, 64), // region 0 reserved
+		helperIdx: make(map[int32]int32),
+		kfuncIdx:  make(map[int32]int32),
+		rngState:  0x9e3779b97f4a7c15,
+		Budget:    1 << 22,
 	}
 	vm.stackID = vm.allocRegion(make([]byte, StackSize), true)
 	vm.ctxID = vm.allocRegion(nil, true)
@@ -165,15 +180,38 @@ func (vm *VM) allocRegion(data []byte, writable bool) uint64 {
 }
 
 func (vm *VM) freeRegion(id uint64) {
-	vm.regions[id] = region{kind: regFree}
+	r := &vm.regions[id]
+	if r.owned {
+		// Keep the buffer for AllocMem reuse; regFree still blocks any
+		// access through stale pointers.
+		*r = region{kind: regFree, owned: true, data: r.data[:0]}
+	} else {
+		*r = region{kind: regFree}
+	}
 	vm.freeIDs = append(vm.freeIDs, id)
 }
 
-// AllocMem allocates a fresh zeroed memory region of n bytes and returns
-// a pointer to it. Used by helpers and kfuncs that hand memory to
-// programs (bpf_obj_new, memory-wrapper nodes).
+// AllocMem allocates a zeroed memory region of n bytes and returns a
+// pointer to it. Used by helpers and kfuncs that hand memory to
+// programs (bpf_obj_new, memory-wrapper nodes). Recently freed regions
+// whose retained buffer fits are reused, so steady-state per-packet
+// alloc/free cycles do not allocate.
 func (vm *VM) AllocMem(n int) uint64 {
+	ids := vm.freeIDs
+	for i := len(ids) - 1; i >= 0 && i >= len(ids)-4; i-- {
+		id := ids[i]
+		r := &vm.regions[id]
+		if r.owned && cap(r.data) >= n {
+			ids[i] = ids[len(ids)-1]
+			vm.freeIDs = ids[:len(ids)-1]
+			data := r.data[:n]
+			clear(data)
+			*r = region{kind: regMem, writable: true, owned: true, data: data}
+			return id << RegionShift
+		}
+	}
 	id := vm.allocRegion(make([]byte, n), true)
+	vm.regions[id].owned = true
 	return id << RegionShift
 }
 
@@ -444,10 +482,13 @@ func (vm *VM) store(ptr uint64, size int, val uint64) error {
 	return nil
 }
 
-// Program is a verified, loaded program with map references resolved.
+// Program is a verified, loaded program with map references resolved
+// and the predecoded fast-path stream attached.
 type Program struct {
-	ins  []isa.Instruction
-	name string
+	ins   []isa.Instruction
+	dec   []decodedInsn
+	fused int
+	name  string
 }
 
 // Name returns the program's name.
@@ -458,6 +499,10 @@ func (p *Program) Len() int { return len(p.ins) }
 
 // Instructions returns the resolved instruction stream (read-only use).
 func (p *Program) Instructions() []isa.Instruction { return p.ins }
+
+// FusedPairs returns how many adjacent instruction pairs the predecode
+// peephole fuser collapsed into super-ops.
+func (p *Program) FusedPairs() int { return p.fused }
 
 // Load resolves map FDs in prog against this VM and returns a runnable
 // Program. Verification is the verifier package's job; Load only links.
@@ -482,8 +527,20 @@ func (vm *VM) Load(name string, prog []isa.Instruction) (*Program, error) {
 			i++
 		}
 	}
-	return &Program{ins: out, name: name}, nil
+	p := &Program{ins: out, name: name}
+	p.dec, p.fused = vm.predecode(out)
+	return p, nil
 }
+
+// SetWireInterp selects (true) or deselects (false) the wire-format
+// reference interpreter for this VM. The default is the predecoded
+// fast path; the wire loop re-decodes every instruction from the raw
+// encoding and exists as the independently-simple slow path the
+// differential suite compares against.
+func (vm *VM) SetWireInterp(on bool) { vm.wire = on }
+
+// WireInterp reports whether the wire-format loop is selected.
+func (vm *VM) WireInterp() bool { return vm.wire }
 
 // Run executes prog with ctx as the packet/context memory. It returns
 // the program's R0 (the XDP verdict for datapath programs). With stats
@@ -505,12 +562,19 @@ func (vm *VM) Run(p *Program, ctx []byte) (ret uint64, err error) {
 		}
 	}()
 	if vm.stats == nil {
-		return vm.exec(p, ctx, nil)
+		if vm.wire {
+			return vm.exec(p, ctx, nil)
+		}
+		return vm.execFast(p, ctx, nil)
 	}
 	ps := vm.stats.prog(p.name)
 	vm.curProg = ps
 	start := time.Now()
-	ret, err = vm.exec(p, ctx, ps)
+	if vm.wire {
+		ret, err = vm.exec(p, ctx, ps)
+	} else {
+		ret, err = vm.execFast(p, ctx, ps)
+	}
 	ps.RunCnt++
 	ps.RunTimeNs += uint64(time.Since(start).Nanoseconds())
 	vm.curProg = nil

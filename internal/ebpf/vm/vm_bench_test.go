@@ -74,6 +74,89 @@ func BenchmarkMapLookupHelper(b *testing.B) {
 	}
 }
 
+// BenchmarkDispatch compares the wire-format reference loop against the
+// predecoded fast path on four instruction-mix profiles. The /predecoded
+// variants are what every NF replay pays per instruction; /wire is the
+// pre-predecode baseline kept as the differential reference.
+func BenchmarkDispatch(b *testing.B) {
+	mixes := []struct {
+		name  string
+		build func(bb *asm.Builder)
+	}{
+		{"alu", func(bb *asm.Builder) {
+			// Hash-mix chain (add/xor/shift on one register) — the generic
+			// ALU superinstruction collapses it pairwise.
+			bb.MovImm(asm.R0, 0)
+			bb.MovImm(asm.R7, 0x1234)
+			for i := 0; i < 16; i++ {
+				bb.AddImm(asm.R0, 3)
+				bb.Xor(asm.R0, asm.R7)
+				bb.LshImm(asm.R0, 1)
+				bb.Add(asm.R0, asm.R7)
+			}
+			bb.Exit()
+		}},
+		{"branch", func(bb *asm.Builder) {
+			// Bottom-test counted loop, the shape compilers emit for
+			// bounded loops: the counter bump fuses with its own test.
+			bb.MovImm(asm.R0, 0)
+			bb.MovImm(asm.R6, 0)
+			bb.Label("top")
+			bb.AddImm(asm.R0, 5)
+			bb.AddImm(asm.R6, 1)
+			bb.JmpImm(asm.JLT, asm.R6, 64, "top")
+			bb.Exit()
+		}},
+		{"mem", func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			bb.StoreImm(asm.R10, -8, 0x5a5a5a5a, 8)
+			for i := 0; i < 16; i++ {
+				bb.Load(asm.R3, asm.R10, -8, 8)
+				bb.AndImm(asm.R3, 0xffff)
+				bb.Add(asm.R0, asm.R3)
+				bb.Store(asm.R10, -16, asm.R0, 8)
+			}
+			bb.Exit()
+		}},
+		{"mixed", func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			bb.StoreImm(asm.R10, -8, 7, 8)
+			bb.MovImm(asm.R6, 0)
+			bb.Label("top")
+			bb.JmpImm(asm.JGE, asm.R6, 16, "done")
+			bb.Load(asm.R3, asm.R10, -8, 8)
+			bb.AndImm(asm.R3, 0xff)
+			bb.Add(asm.R0, asm.R3)
+			bb.Mov32Imm(asm.R4, 0x100)
+			bb.Add32(asm.R0, asm.R4)
+			bb.AddImm(asm.R6, 1)
+			bb.Ja("top")
+			bb.Label("done")
+			bb.Exit()
+		}},
+	}
+	for _, mix := range mixes {
+		for _, mode := range []string{"wire", "predecoded"} {
+			b.Run(mix.name+"/"+mode, func(b *testing.B) {
+				m := vm.New()
+				m.SetWireInterp(mode == "wire")
+				bb := asm.New()
+				mix.build(bb)
+				prog, err := m.Load(mix.name, bb.MustProgram())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Run(prog, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkTelemetryOverhead measures the cost of stats collection on
 // a representative mixed program (ALU + helper + map lookup): /off is
 // the default unmetered path, /on has a Stats attached. The /off
@@ -100,25 +183,30 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		}
 		return m, prog
 	}
-	b.Run("off", func(b *testing.B) {
-		m, prog := build(b)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := m.Run(prog, nil); err != nil {
-				b.Fatal(err)
+	for _, bc := range []struct {
+		name  string
+		wire  bool
+		stats bool
+	}{
+		{"off", false, false},
+		{"on", false, true},
+		{"wire/off", true, false},
+		{"wire/on", true, true},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			m, prog := build(b)
+			m.SetWireInterp(bc.wire)
+			if bc.stats {
+				m.EnableStats()
 			}
-		}
-	})
-	b.Run("on", func(b *testing.B) {
-		m, prog := build(b)
-		m.EnableStats()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if _, err := m.Run(prog, nil); err != nil {
-				b.Fatal(err)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Run(prog, nil); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
+		})
+	}
 }
 
 func BenchmarkKfuncCall(b *testing.B) {

@@ -1,0 +1,328 @@
+// Package vmbench measures the predecoded fast-path interpreter
+// against the wire-format reference loop: the Fig. 3-style instruction
+// micro-benchmarks (dispatch mixes, helper/kfunc call paths, map
+// lookups) and the Fig. 3 NF catalog in its eBPF flavour. Every
+// comparison runs the two modes interleaved within one invocation,
+// best-of-N samples each, because on a shared host the noise between
+// invocations dwarfs the effect under measurement; only adjacent
+// min-of-N samples are comparable. cmd/vmbench renders the results and
+// writes the committed BENCH_vm.json artifact.
+package vmbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"enetstl/internal/ebpf/asm"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/vm"
+	"enetstl/internal/nf"
+	"enetstl/internal/nfcatalog"
+	"enetstl/internal/pktgen"
+)
+
+// Config tunes a measurement run.
+type Config struct {
+	// Reps is the interleaved sample count per mode (best-of; default 5).
+	Reps int
+	// SampleMs is the minimum duration of one timed sample (default 40).
+	SampleMs int
+	// Packets is the NF replay trace length (default 8192).
+	Packets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Reps <= 0 {
+		c.Reps = 5
+	}
+	if c.SampleMs <= 0 {
+		c.SampleMs = 40
+	}
+	if c.Packets <= 0 {
+		c.Packets = 8192
+	}
+	return c
+}
+
+// MicroResult compares the two interpreter loops on one micro-benchmark.
+type MicroResult struct {
+	Name    string  `json:"name"`
+	WireNs  float64 `json:"wire_ns_per_op"`
+	FastNs  float64 `json:"predecoded_ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// NFResult compares the loops on one Fig. 3 NF (eBPF flavour), plus
+// the eNetSTL flavour on the fast path for the cross-flavour ordering.
+type NFResult struct {
+	NF            string  `json:"nf"`
+	WirePPS       float64 `json:"ebpf_wire_pps"`
+	FastPPS       float64 `json:"ebpf_predecoded_pps"`
+	Speedup       float64 `json:"speedup"`
+	ENetSTLPPS    float64 `json:"enetstl_predecoded_pps"`
+	ENetSTLvsEBPF float64 `json:"enetstl_vs_ebpf"`
+}
+
+// Report is the full artifact committed as BENCH_vm.json.
+type Report struct {
+	Note         string        `json:"note"`
+	GoMaxProcs   int           `json:"gomaxprocs"`
+	Micro        []MicroResult `json:"micro"`
+	MicroGeomean float64       `json:"micro_geomean_speedup"`
+	Fig3         []NFResult    `json:"fig3_ebpf"`
+}
+
+// micro is one generated-program benchmark: prep readies the VM
+// (maps, kfuncs) and returns the program emitter. The shapes mirror
+// the Benchmark* suite in internal/ebpf/vm/vm_bench_test.go.
+type micro struct {
+	name string
+	prep func(m *vm.VM) func(bb *asm.Builder)
+}
+
+func plain(emit func(bb *asm.Builder)) func(m *vm.VM) func(bb *asm.Builder) {
+	return func(*vm.VM) func(bb *asm.Builder) { return emit }
+}
+
+func micros() []micro {
+	return []micro{
+		{"dispatch/alu", plain(func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			bb.MovImm(asm.R7, 0x1234)
+			for i := 0; i < 16; i++ {
+				bb.AddImm(asm.R0, 3)
+				bb.Xor(asm.R0, asm.R7)
+				bb.LshImm(asm.R0, 1)
+				bb.Add(asm.R0, asm.R7)
+			}
+			bb.Exit()
+		})},
+		{"dispatch/branch", plain(func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			bb.MovImm(asm.R6, 0)
+			bb.Label("top")
+			bb.AddImm(asm.R0, 5)
+			bb.AddImm(asm.R6, 1)
+			bb.JmpImm(asm.JLT, asm.R6, 64, "top")
+			bb.Exit()
+		})},
+		{"dispatch/mem", plain(func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			bb.StoreImm(asm.R10, -8, 0x5a5a5a5a, 8)
+			for i := 0; i < 16; i++ {
+				bb.Load(asm.R3, asm.R10, -8, 8)
+				bb.AndImm(asm.R3, 0xffff)
+				bb.Add(asm.R0, asm.R3)
+				bb.Store(asm.R10, -16, asm.R0, 8)
+			}
+			bb.Exit()
+		})},
+		{"dispatch/mixed", plain(func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			bb.StoreImm(asm.R10, -8, 7, 8)
+			bb.MovImm(asm.R6, 0)
+			bb.Label("top")
+			bb.JmpImm(asm.JGE, asm.R6, 16, "done")
+			bb.Load(asm.R3, asm.R10, -8, 8)
+			bb.AndImm(asm.R3, 0xff)
+			bb.Add(asm.R0, asm.R3)
+			bb.Mov32Imm(asm.R4, 0x100)
+			bb.Add32(asm.R0, asm.R4)
+			bb.AddImm(asm.R6, 1)
+			bb.Ja("top")
+			bb.Label("done")
+			bb.Exit()
+		})},
+		{"alu_chain", plain(func(bb *asm.Builder) {
+			bb.MovImm(asm.R0, 0)
+			for i := 0; i < 64; i++ {
+				bb.AddImm(asm.R0, 1)
+			}
+			bb.Exit()
+		})},
+		{"helper_call", plain(func(bb *asm.Builder) {
+			for i := 0; i < 16; i++ {
+				bb.Call(vm.HelperGetPrandomU32)
+			}
+			bb.Exit()
+		})},
+		{"map_lookup", func(m *vm.VM) func(bb *asm.Builder) {
+			fd := m.RegisterMap(maps.Must(maps.NewArray(8, 8)))
+			return func(bb *asm.Builder) {
+				bb.StoreImm(asm.R10, -4, 3, 4)
+				for i := 0; i < 16; i++ {
+					bb.LoadMap(asm.R1, fd)
+					bb.Mov(asm.R2, asm.R10).AddImm(asm.R2, -4)
+					bb.Call(vm.HelperMapLookup)
+				}
+				bb.Exit()
+			}
+		}},
+		{"kfunc_call", func(m *vm.VM) func(bb *asm.Builder) {
+			m.RegisterKfunc(&vm.Kfunc{
+				ID: 999, Name: "nop",
+				Impl: func(*vm.VM, uint64, uint64, uint64, uint64, uint64) (uint64, error) {
+					return 0, nil
+				},
+				Meta: vm.KfuncMeta{Ret: vm.RetScalar},
+			})
+			return func(bb *asm.Builder) {
+				for i := 0; i < 16; i++ {
+					bb.Kfunc(999)
+				}
+				bb.Exit()
+			}
+		}},
+	}
+}
+
+// sampleProg times prog until the sample lasts at least sampleMs,
+// returning ns per Run.
+func sampleProg(m *vm.VM, prog *vm.Program, sampleMs int) (float64, error) {
+	target := time.Duration(sampleMs) * time.Millisecond
+	for n := 64; ; n *= 2 {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if _, err := m.Run(prog, nil); err != nil {
+				return 0, err
+			}
+		}
+		if el := time.Since(start); el >= target {
+			return float64(el.Nanoseconds()) / float64(n), nil
+		}
+	}
+}
+
+// RunMicros measures every micro-benchmark, wire vs predecoded
+// interleaved, best of cfg.Reps samples each.
+func RunMicros(cfg Config) ([]MicroResult, float64, error) {
+	cfg = cfg.withDefaults()
+	var out []MicroResult
+	logSum := 0.0
+	for _, mc := range micros() {
+		build := func(wire bool) (*vm.VM, *vm.Program, error) {
+			m := vm.New()
+			m.SetWireInterp(wire)
+			bb := asm.New()
+			mc.prep(m)(bb)
+			prog, err := m.Load(mc.name, bb.MustProgram())
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s: %w", mc.name, err)
+			}
+			// Warm up: steady-state regions, branch history, caches.
+			for i := 0; i < 4; i++ {
+				if _, err := m.Run(prog, nil); err != nil {
+					return nil, nil, fmt.Errorf("%s: %w", mc.name, err)
+				}
+			}
+			return m, prog, nil
+		}
+		wm, wp, err := build(true)
+		if err != nil {
+			return nil, 0, err
+		}
+		fm, fp, err := build(false)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := MicroResult{Name: mc.name, WireNs: math.Inf(1), FastNs: math.Inf(1)}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			w, err := sampleProg(wm, wp, cfg.SampleMs)
+			if err != nil {
+				return nil, 0, err
+			}
+			f, err := sampleProg(fm, fp, cfg.SampleMs)
+			if err != nil {
+				return nil, 0, err
+			}
+			res.WireNs = math.Min(res.WireNs, w)
+			res.FastNs = math.Min(res.FastNs, f)
+		}
+		res.Speedup = res.WireNs / res.FastNs
+		logSum += math.Log(res.Speedup)
+		out = append(out, res)
+	}
+	return out, math.Exp(logSum / float64(len(out))), nil
+}
+
+// Fig3NFs lists the NF catalog entries behind the Fig. 3 panels that
+// exist in the eBPF flavour (skiplist is paper-P1 unimplementable;
+// conntrack is not a Fig. 3 subject).
+func Fig3NFs() []string {
+	return []string{
+		"cuckooswitch", "cmsketch", "nitrosketch", "cuckoofilter", "bloom",
+		"vbf", "eiffel", "timewheel", "edf", "tss", "heavykeeper",
+		"spacesaving", "daryhash",
+	}
+}
+
+// sampleTrace times one full replay pass, returning pps.
+func sampleTrace(inst nf.Instance, trace *pktgen.Trace) (float64, error) {
+	start := time.Now()
+	for i := range trace.Packets {
+		if _, err := inst.Process(trace.Packets[i][:]); err != nil {
+			return 0, fmt.Errorf("%s/%s: packet %d: %w", inst.Name(), inst.Flavor(), i, err)
+		}
+	}
+	return float64(len(trace.Packets)) / time.Since(start).Seconds(), nil
+}
+
+// RunFig3 measures every Fig. 3 NF in the eBPF flavour on both
+// interpreter loops (interleaved, best of cfg.Reps passes) plus the
+// eNetSTL flavour on the fast path, for the cross-flavour ordering.
+func RunFig3(cfg Config) ([]NFResult, error) {
+	cfg = cfg.withDefaults()
+	var out []NFResult
+	for seed, name := range Fig3NFs() {
+		trace := pktgen.Generate(pktgen.Config{
+			Flows: 512, Packets: cfg.Packets, ZipfS: 1.1, Seed: int64(8600 + seed)})
+		nfcatalog.PrepareTrace(name, trace)
+		build := func(flavor nf.Flavor, wire bool) (nf.Instance, *pktgen.Trace, error) {
+			tr := trace.Clone()
+			inst, err := nfcatalog.Build(name, flavor, tr)
+			if err != nil {
+				return nil, nil, fmt.Errorf("%s/%v: %w", name, flavor, err)
+			}
+			v, ok := inst.(interface{ VM() *vm.VM })
+			if !ok || v.VM() == nil {
+				return nil, nil, fmt.Errorf("%s/%v: not VM-backed", name, flavor)
+			}
+			v.VM().SetWireInterp(wire)
+			if _, err := sampleTrace(inst, tr); err != nil { // warm-up pass
+				return nil, nil, err
+			}
+			return inst, tr, nil
+		}
+		wi, wt, err := build(nf.EBPF, true)
+		if err != nil {
+			return nil, err
+		}
+		fi, ft, err := build(nf.EBPF, false)
+		if err != nil {
+			return nil, err
+		}
+		ei, et, err := build(nf.ENetSTL, false)
+		if err != nil {
+			return nil, err
+		}
+		res := NFResult{NF: name}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			for _, s := range []struct {
+				inst  nf.Instance
+				trace *pktgen.Trace
+				best  *float64
+			}{{wi, wt, &res.WirePPS}, {fi, ft, &res.FastPPS}, {ei, et, &res.ENetSTLPPS}} {
+				pps, err := sampleTrace(s.inst, s.trace)
+				if err != nil {
+					return nil, err
+				}
+				*s.best = math.Max(*s.best, pps)
+			}
+		}
+		res.Speedup = res.FastPPS / res.WirePPS
+		res.ENetSTLvsEBPF = res.ENetSTLPPS / res.FastPPS
+		out = append(out, res)
+	}
+	return out, nil
+}

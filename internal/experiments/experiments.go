@@ -66,6 +66,9 @@ type Options struct {
 	Packets int
 	// Trials per measurement (default 3).
 	Trials int
+	// Shards is the maximum RSS shard count the parallel scaling
+	// experiment sweeps to (default 4; doubling steps from 1).
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +77,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Trials == 0 {
 		o.Trials = 3
+	}
+	if o.Shards == 0 {
+		o.Shards = 4
 	}
 	return o
 }
@@ -104,6 +110,7 @@ func All() []Runner {
 		{"fig5", "per-packet processing time", Fig5},
 		{"fig6", "low-level vs high-level interfaces", Fig6},
 		{"fig7", "eNetSTL in real-world apps", Fig7},
+		{"parallel", "RSS-sharded replay: aggregate throughput vs shard count", Parallel},
 	}
 }
 

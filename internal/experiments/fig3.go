@@ -272,9 +272,7 @@ func Fig3h(opts Options) (*Table, error) {
 			}
 			trace := pktgen.Generate(pktgen.Config{Flows: 64, Packets: o.Packets, Seed: int64(700 + xi)})
 			trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
-			for i := range trace.Packets {
-				trace.Packets[i].SetArg(uint32(i*2654435761) % uint32(prios))
-			}
+			trace.ApplyArgKeys(uint32(prios))
 			q, err := eiffel.New(flavor, eiffel.Config{Levels: levels[xi]})
 			if err != nil {
 				return nil, nil, err

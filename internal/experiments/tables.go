@@ -35,8 +35,8 @@ func Table1(opts Options) (*Table, error) {
 	plain := pktgen.Generate(pktgen.Config{Flows: 2048, Packets: o.Packets / 2, ZipfS: 1.1, Seed: 980})
 	qtr := pktgen.Generate(pktgen.Config{Flows: 256, Packets: o.Packets / 2, Seed: 981})
 	qtr.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+	qtr.ApplyArgKeys(0)
 	for i := range qtr.Packets {
-		qtr.Packets[i].SetArg(uint32(i * 2654435761))
 		qtr.Packets[i].SetTS(uint64(i / 2))
 	}
 
@@ -195,8 +195,8 @@ func Table2(opts Options) (*Table, error) {
 	plain := pktgen.Generate(pktgen.Config{Flows: 1024, Packets: o.Packets / 2, ZipfS: 1.1, Seed: 990})
 	qtr := pktgen.Generate(pktgen.Config{Flows: 256, Packets: o.Packets / 2, Seed: 991})
 	qtr.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+	qtr.ApplyArgKeys(0)
 	for i := range qtr.Packets {
-		qtr.Packets[i].SetArg(uint32(i * 2654435761))
 		qtr.Packets[i].SetTS(uint64(i / 2))
 	}
 

@@ -1,0 +1,131 @@
+package harness_test
+
+import (
+	"testing"
+
+	"enetstl/internal/harness"
+	"enetstl/internal/nf"
+	"enetstl/internal/nfcatalog"
+	"enetstl/internal/pktgen"
+)
+
+// TestParallelRunDeterministic is the RSS correctness contract: for
+// NFs whose per-packet verdict is a function of the packet's own flow
+// and static preloaded state, hash-partitioning the trace across any
+// number of shards must yield identical merged verdict counts — the
+// same packets are processed, just on different (per-CPU) instances
+// with identical table images.
+func TestParallelRunDeterministic(t *testing.T) {
+	for _, name := range []string{"cuckooswitch", "cuckoofilter", "vbf", "tss", "daryhash"} {
+		for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF} {
+			t.Run(name+"/"+flavor.String(), func(t *testing.T) {
+				trace := pktgen.Generate(pktgen.Config{
+					Flows: 128, Packets: 2000, ZipfS: 1.1, Seed: 42})
+				nfcatalog.PrepareTrace(name, trace)
+				var want harness.VerdictCounts
+				for _, shards := range []int{1, 2, 3, 4} {
+					sh := nfcatalog.NewSharded(name, flavor)
+					res, err := harness.ParallelRun(trace.Clone(), shards, sh.Build, 2)
+					if err != nil {
+						t.Fatalf("shards=%d: %v", shards, err)
+					}
+					if res.Shards != shards || len(res.PerShard) != shards {
+						t.Fatalf("shards=%d: result reports %d/%d", shards, res.Shards, len(res.PerShard))
+					}
+					total := 0
+					for _, sr := range res.PerShard {
+						total += sr.Packets
+					}
+					if total != len(trace.Packets) {
+						t.Fatalf("shards=%d: shards cover %d of %d packets", shards, total, len(trace.Packets))
+					}
+					if res.Verdicts.Total() != uint64(2*len(trace.Packets)) {
+						t.Fatalf("shards=%d: tallied %d verdicts, want %d (2 trials)",
+							shards, res.Verdicts.Total(), 2*len(trace.Packets))
+					}
+					if shards == 1 {
+						want = res.Verdicts
+						continue
+					}
+					if res.Verdicts != want {
+						t.Fatalf("shards=%d verdicts %v, want shard-count-independent %v",
+							shards, res.Verdicts, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRunMatchesThroughput anchors the 1-shard parallel path
+// to the reference serial harness: same NF, same trace, same verdict
+// tally.
+func TestParallelRunMatchesThroughput(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 128, Packets: 1500, ZipfS: 1.1, Seed: 7})
+	nfcatalog.PrepareTrace("cuckooswitch", trace)
+
+	inst, err := nfcatalog.Build("cuckooswitch", nf.EBPF, trace.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := harness.Throughput(inst, trace.Clone(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sh := nfcatalog.NewSharded("cuckooswitch", nf.EBPF)
+	par, err := harness.ParallelRun(trace.Clone(), 1, sh.Build, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Verdicts != serial.Verdicts {
+		t.Fatalf("parallel(1) verdicts %v != serial %v", par.Verdicts, serial.Verdicts)
+	}
+}
+
+// TestParallelEstimatorBounds checks sketch-state merging: count-min
+// estimates are sums of hash-row counters, and hash-partitioning the
+// stream splits each counter into per-shard addends, so the summed
+// estimate must stay a one-sided overestimate of the true per-flow
+// count (lower bound) while never exceeding the single-instance
+// estimate (collisions can only grow when streams merge).
+func TestParallelEstimatorBounds(t *testing.T) {
+	trace := pktgen.Generate(pktgen.Config{Flows: 64, Packets: 4000, ZipfS: 1.1, Seed: 11})
+	exact := make([]uint64, len(trace.FlowKeys))
+	for _, f := range trace.FlowOf {
+		exact[f]++
+	}
+	// ParallelRun replays the trace passes times (1 warm-up + trials),
+	// all of which land in the sketch.
+	const passes = 2
+
+	single := nfcatalog.NewSharded("cmsketch", nf.EBPF)
+	if _, err := harness.ParallelRun(trace.Clone(), 1, single.Build, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 4} {
+		sh := nfcatalog.NewSharded("cmsketch", nf.EBPF)
+		if _, err := harness.ParallelRun(trace.Clone(), shards, sh.Build, 1); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		for f := range trace.FlowKeys {
+			if exact[f] == 0 {
+				continue
+			}
+			key := trace.FlowKeys[f]
+			merged, ok := sh.Estimate(key[:])
+			if !ok {
+				t.Fatal("cmsketch exposes no estimator")
+			}
+			ref, _ := single.Estimate(key[:])
+			if uint64(merged) < passes*exact[f] {
+				t.Fatalf("shards=%d flow %d: merged estimate %d below true count %d",
+					shards, f, merged, passes*exact[f])
+			}
+			if merged > ref {
+				t.Fatalf("shards=%d flow %d: merged estimate %d exceeds single-instance %d",
+					shards, f, merged, ref)
+			}
+		}
+	}
+}

@@ -67,20 +67,45 @@ func Build(name string, flavor nf.Flavor, trace *pktgen.Trace) (nf.Instance, err
 // priorities and deadlines, for the scheduler NFs.
 func queueize(trace *pktgen.Trace) {
 	trace.ApplyOpMix([]uint32{nf.OpEnqueue, nf.OpDequeue}, []int{1, 1})
+	trace.ApplyArgKeys(0)
 	for i := range trace.Packets {
-		trace.Packets[i].SetArg(uint32(i * 2654435761))
 		trace.Packets[i].SetTS(uint64(i / 2))
 	}
 }
 
+// PrepareTrace applies name's op mix and argument keying to the trace,
+// exactly as Build does. It is exposed separately so sharded replay
+// can mix the full trace once before hash-partitioning it: packet
+// contents must not depend on the shard count, and the op mix walks
+// packets by index.
+func PrepareTrace(name string, trace *pktgen.Trace) {
+	switch name {
+	case "skiplist":
+		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup, nf.OpDelete}, []int{1, 2, 1})
+	case "eiffel", "timewheel":
+		queueize(trace)
+	case "bloom":
+		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup}, []int{1, 3})
+	}
+}
+
 func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error) {
+	PrepareTrace(name, trace)
+	return construct(name, flavor, trace)
+}
+
+// construct builds the instance and preloads its tables from the
+// trace's flow table. It never mutates the trace, so sharded replay
+// can call it once per shard on already-prepared sub-traces: the flow
+// table travels whole with every shard (pktgen.Trace.Shard), giving
+// each per-CPU instance an identical table image.
+func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error) {
 	switch name {
 	case "skiplist":
 		s, err := skiplist.New(flavor)
 		if err != nil {
 			return built{}, err
 		}
-		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup, nf.OpDelete}, []int{1, 2, 1})
 		return built{inst: s, check: s.CheckInvariants, arm: func(p *faultinject.Plane) {
 			if pr := s.Proxy(); pr != nil {
 				pr.FailAlloc = p.Site(faultinject.SiteAlloc).Fire
@@ -134,14 +159,12 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		if err != nil {
 			return built{}, err
 		}
-		queueize(trace)
 		return built{inst: q.Instance}, nil
 	case "timewheel":
 		w, err := timewheel.New(flavor, timewheel.Config{Slots: 1024})
 		if err != nil {
 			return built{}, err
 		}
-		queueize(trace)
 		return built{inst: w, check: w.CheckInvariants}, nil
 	case "edf":
 		e, err := edf.New(flavor, edf.Config{Groups: 1024, Targets: 64})
@@ -173,7 +196,6 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		if err != nil {
 			return built{}, err
 		}
-		trace.ApplyOpMix([]uint32{nf.OpUpdate, nf.OpLookup}, []int{1, 3})
 		return built{inst: f.Instance}, nil
 	case "spacesaving":
 		s, err := spacesaving.New(flavor, spacesaving.Config{Slots: 64})
@@ -295,4 +317,47 @@ func Cases(cfg CasesConfig) ([]harness.ChaosCase, error) {
 		}
 	}
 	return cases, nil
+}
+
+// Sharded wires one NF into harness.ParallelRun: Build is the
+// per-shard constructor (harness.ShardBuilder) and Estimate merges the
+// per-shard sketch estimators by summation — a count-min/VBF estimate
+// is a sum of per-row counters, and hash-partitioning the stream
+// splits every counter into per-shard addends, so the summed estimate
+// keeps the one-sided overestimate guarantee at any shard count.
+type Sharded struct {
+	Name   string
+	Flavor nf.Flavor
+	ests   []func(key []byte) uint32
+}
+
+// NewSharded returns the ParallelRun wiring for name/flavor. Prepare
+// the full trace with PrepareTrace before sharding it.
+func NewSharded(name string, flavor nf.Flavor) *Sharded {
+	return &Sharded{Name: name, Flavor: flavor}
+}
+
+// Build constructs shard s's instance from its sub-trace. ParallelRun
+// calls it serially, one shard at a time, before any replay starts.
+func (s *Sharded) Build(shard int, trace *pktgen.Trace) (nf.Instance, error) {
+	b, err := construct(s.Name, s.Flavor, trace)
+	if err != nil {
+		return nil, err
+	}
+	if b.est != nil {
+		s.ests = append(s.ests, b.est)
+	}
+	return b.inst, nil
+}
+
+// Estimate sums the per-shard estimators for key. ok is false when the
+// NF has no control-plane estimator.
+func (s *Sharded) Estimate(key []byte) (est uint32, ok bool) {
+	if len(s.ests) == 0 {
+		return 0, false
+	}
+	for _, e := range s.ests {
+		est += e(key)
+	}
+	return est, true
 }

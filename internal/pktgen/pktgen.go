@@ -82,6 +82,58 @@ func Generate(cfg Config) *Trace {
 	return t
 }
 
+// FlowHash hashes a flow key as NIC RSS hashes the 5-tuple: FNV-1a
+// over the key bytes with a murmur-style avalanche finisher so the low
+// bits (which shard selection reduces mod N) mix the whole tuple. It
+// is the single flow-keying function in the tree — the RSS sharder
+// partitions traces with it and the op-mix helpers derive per-flow
+// arguments from it.
+func FlowHash(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= 16777619
+	}
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return h
+}
+
+// ShardOf maps a flow key to one of n RSS shards.
+func ShardOf(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(FlowHash(key) % uint32(n))
+}
+
+// Shard hash-partitions the trace into n sub-traces by flow 5-tuple,
+// as NIC RSS spreads flows across receive queues: all packets of one
+// flow land in the same shard, in their original relative order, and
+// the flow→shard assignment depends only on the flow key. Each
+// sub-trace keeps the full flow table (FlowKeys, which FlowOf indexes)
+// so per-shard NF construction preloads identical tables regardless of
+// shard count — the per-CPU replica model. Packets are deep-copied;
+// shards are safe to mutate independently.
+func (t *Trace) Shard(n int) []*Trace {
+	if n <= 1 {
+		return []*Trace{t.Clone()}
+	}
+	shards := make([]*Trace, n)
+	for s := range shards {
+		shards[s] = &Trace{FlowKeys: append([][nf.KeyLen]byte(nil), t.FlowKeys...)}
+	}
+	for i := range t.Packets {
+		s := shards[ShardOf(t.Packets[i].Key(), n)]
+		s.Packets = append(s.Packets, t.Packets[i])
+		s.FlowOf = append(s.FlowOf, t.FlowOf[i])
+	}
+	return shards
+}
+
 // Clone deep-copies the trace. Differential replay needs bit-identical
 // input streams per flavour, and op-mix application mutates packets in
 // place, so each instance under comparison replays its own clone.
@@ -129,5 +181,20 @@ func (t *Trace) ApplyOpMix(ops []uint32, weights []int) {
 	}
 	for i := range t.Packets {
 		t.Packets[i].SetOp(pattern[i%len(pattern)])
+	}
+}
+
+// ApplyArgKeys derives every packet's u32 argument (priority, index...)
+// from its flow key via FlowHash, reduced mod bound when bound > 0.
+// Flow-derived args are stable under resharding: a packet carries the
+// same argument whether the trace is replayed whole or hash-partitioned
+// across shards, which per-index keying cannot guarantee.
+func (t *Trace) ApplyArgKeys(bound uint32) {
+	for i := range t.Packets {
+		a := FlowHash(t.Packets[i].Key())
+		if bound > 0 {
+			a %= bound
+		}
+		t.Packets[i].SetArg(a)
 	}
 }

@@ -131,3 +131,93 @@ func TestFieldSetters(t *testing.T) {
 		t.Fatal("key slice wrong")
 	}
 }
+
+func TestFlowHashDeterministicAndSpreads(t *testing.T) {
+	tr := Generate(Config{Flows: 4096, Packets: 0, Seed: 6})
+	buckets := make([]int, 8)
+	for i, k := range tr.FlowKeys {
+		if FlowHash(k[:]) != FlowHash(k[:]) {
+			t.Fatalf("flow %d: hash not deterministic", i)
+		}
+		buckets[ShardOf(k[:], 8)]++
+	}
+	// RSS only needs rough balance; sequential flow keys must not all
+	// collapse into a few shards.
+	for s, n := range buckets {
+		if n < 4096/8/2 || n > 4096/8*2 {
+			t.Fatalf("shard %d got %d of 4096 flows, want near %d", s, n, 4096/8)
+		}
+	}
+	if ShardOf(tr.FlowKeys[0][:], 1) != 0 || ShardOf(tr.FlowKeys[0][:], 0) != 0 {
+		t.Fatal("degenerate shard counts must map to shard 0")
+	}
+}
+
+func TestShardPartitionsByFlow(t *testing.T) {
+	tr := Generate(Config{Flows: 64, Packets: 2000, ZipfS: 1.1, Seed: 7})
+	tr.ApplyOpMix([]uint32{1, 2}, []int{1, 1})
+	for _, n := range []int{1, 2, 3, 4} {
+		shards := tr.Shard(n)
+		if len(shards) != n {
+			t.Fatalf("Shard(%d) returned %d traces", n, len(shards))
+		}
+		total := 0
+		for s, sub := range shards {
+			total += len(sub.Packets)
+			if len(sub.Packets) != len(sub.FlowOf) {
+				t.Fatalf("shard %d/%d: FlowOf misaligned", s, n)
+			}
+			if len(sub.FlowKeys) != len(tr.FlowKeys) {
+				t.Fatalf("shard %d/%d: flow table truncated", s, n)
+			}
+			for i := range sub.Packets {
+				if got := ShardOf(sub.Packets[i].Key(), n); got != s {
+					t.Fatalf("shard %d/%d: packet %d hashes to shard %d", s, n, i, got)
+				}
+				f := sub.FlowOf[i]
+				if string(sub.Packets[i][:nf.KeyLen]) != string(sub.FlowKeys[f][:]) {
+					t.Fatalf("shard %d/%d: packet %d key mismatch with flow %d", s, n, i, f)
+				}
+			}
+		}
+		if total != len(tr.Packets) {
+			t.Fatalf("Shard(%d) kept %d of %d packets", n, total, len(tr.Packets))
+		}
+	}
+}
+
+func TestShardPreservesOrderWithinFlow(t *testing.T) {
+	tr := Generate(Config{Flows: 16, Packets: 800, Seed: 8})
+	// Tag each packet with its global index so order is observable.
+	for i := range tr.Packets {
+		tr.Packets[i].SetTS(uint64(i))
+	}
+	for _, sub := range tr.Shard(4) {
+		last := map[int32]uint64{}
+		for i := range sub.Packets {
+			ts := binary.LittleEndian.Uint64(sub.Packets[i][nf.OffTS:])
+			f := sub.FlowOf[i]
+			if prev, ok := last[f]; ok && ts <= prev {
+				t.Fatalf("flow %d reordered: %d after %d", f, ts, prev)
+			}
+			last[f] = ts
+		}
+	}
+}
+
+func TestApplyArgKeysIsFlowDerived(t *testing.T) {
+	tr := Generate(Config{Flows: 32, Packets: 500, ZipfS: 1.1, Seed: 9})
+	tr.ApplyArgKeys(0)
+	for i := range tr.Packets {
+		want := FlowHash(tr.Packets[i].Key())
+		if got := binary.LittleEndian.Uint32(tr.Packets[i][nf.OffArg:]); got != want {
+			t.Fatalf("packet %d arg %#x, want flow hash %#x", i, got, want)
+		}
+	}
+	tr.ApplyArgKeys(64)
+	for i := range tr.Packets {
+		if got := binary.LittleEndian.Uint32(tr.Packets[i][nf.OffArg:]); got >= 64 {
+			t.Fatalf("packet %d arg %d outside bound 64", i, got)
+		}
+	}
+}
