@@ -10,11 +10,11 @@ GO ?= go
 # e.g. `make fuzz-smoke FUZZTIME=2m`.
 FUZZTIME ?= 10s
 
-.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-vm bench-vm-smoke chaos-smoke
+.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke chaos-smoke obs-smoke
 
 all: check
 
-check: fmt vet build test race difftest fuzz-smoke chaos-smoke bench-vm-smoke
+check: fmt vet build test race difftest fuzz-smoke chaos-smoke obs-smoke bench-vm-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -57,11 +57,23 @@ fuzz-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/nfrun -chaos -packets 1500 -flows 256
 
+# Observability plane end-to-end: replay with the flight recorder and
+# the HTTP server up, then self-scrape /metrics, /trace (filtered
+# JSONL), /profile, and pprof, failing on any malformed payload.
+obs-smoke:
+	$(GO) run ./cmd/nfrun -nf cmsketch -flavor enetstl -packets 20000 -serve 127.0.0.1:0 -trace -smoke
+
 bench:
 	$(GO) test -bench . -benchmem ./internal/ebpf/vm/
 
 bench-telemetry:
 	$(GO) test -run XX -bench BenchmarkTelemetryOverhead -count 5 ./internal/ebpf/vm/
+
+# Flight-recorder cost on the mixed dispatch micro: the disabled path
+# must be within noise of the pre-trace interpreter (the <2% gate runs
+# as TestTraceDisabledOverhead in the full test suite).
+bench-trace:
+	$(GO) test -run XX -bench BenchmarkTraceOverhead -count 5 ./internal/ebpf/vm/
 
 # Wire-vs-predecoded comparison: the BenchmarkDispatch* suite for the
 # per-micro detail, then the interleaved vmbench harness which refreshes

@@ -17,6 +17,7 @@ import (
 	"enetstl/internal/experiments"
 	"enetstl/internal/harness"
 	"enetstl/internal/nfcatalog"
+	"enetstl/internal/obs"
 	"enetstl/internal/telemetry"
 )
 
@@ -29,8 +30,23 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		stats   = flag.Bool("stats", false, "enable VM runtime stats and print metrics exposition after the run")
 		faults  = flag.Bool("faults", false, "run the chaos fault-injection suite over the full NF catalog instead of the paper experiments")
+		serve   = flag.String("serve", "", "serve the observability plane (/metrics /profile /debug/pprof) on this address while the experiments run; implies live VM stats")
 	)
 	flag.Parse()
+
+	if *serve != "" {
+		// Live VM counters feed the /metrics and /profile scrapes while
+		// the long experiment sweep runs; pprof profiles the interpreter.
+		vm.SetGlobalStats(true)
+		srv := obs.New()
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /profile /debug/pprof on http://%s\n", addr)
+	}
 
 	if *faults {
 		runFaults(*packets, *stats)

@@ -5,13 +5,24 @@
 // Usage:
 //
 //	nfrun -nf cmsketch -flavor enetstl -packets 100000 -flows 1024 -zipf 1.1
+//
+// With -serve it also mounts the live observability plane (/metrics,
+// /trace, /profile, /debug/pprof) for the duration of the replay:
+//
+//	nfrun -nf cuckooswitch -flavor ebpf -serve :8080 -trace -hold
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"enetstl/internal/difftest"
@@ -21,8 +32,10 @@ import (
 	"enetstl/internal/harness"
 	"enetstl/internal/nf"
 	"enetstl/internal/nfcatalog"
+	"enetstl/internal/obs"
 	"enetstl/internal/pktgen"
 	"enetstl/internal/telemetry"
+	"enetstl/internal/trace"
 )
 
 // countingInstance wraps a native (Kernel-flavour) instance so that
@@ -69,6 +82,14 @@ func main() {
 		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-plane seed for -chaos (0 = default); a failing seed replays bit-for-bit")
 		difftest  = flag.Bool("difftest", false, "run the differential conformance suite (flavour equivalence over every NF plus a VM-vs-reference sweep) and exit")
 		vmTrials  = flag.Int("vm-trials", 200, "generated programs for the -difftest VM differential sweep")
+
+		serve       = flag.String("serve", "", "serve the observability plane (/metrics /trace /profile /debug/pprof) on this address during the replay; implies live VM stats")
+		doTrace     = flag.Bool("trace", false, "attach the flight recorder; events go to /trace when -serve is set, else dumped as JSONL on stdout")
+		traceCap    = flag.Int("trace-cap", 1<<16, "flight-recorder ring capacity (rounded up to a power of two)")
+		traceSample = flag.Float64("trace-sample", 1.0, "head-sampling rate in [0,1]; 1 records every packet")
+		traceSeed   = flag.Uint64("trace-seed", 1, "sampling seed (same seed + trace = same sampled packets)")
+		hold        = flag.Bool("hold", false, "with -serve: keep serving after the replay until SIGINT/SIGTERM")
+		smoke       = flag.Bool("smoke", false, "with -serve: self-scrape every endpoint after the replay and exit non-zero on failure")
 	)
 	flag.Parse()
 
@@ -86,18 +107,48 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	trace := pktgen.Generate(pktgen.Config{Flows: *flows, Packets: *packets, ZipfS: *zipf, Seed: *seed})
+	tr := pktgen.Generate(pktgen.Config{Flows: *flows, Packets: *packets, ZipfS: *zipf, Seed: *seed})
 
-	if *stats {
+	if *stats || *serve != "" {
 		// Flip before build so VMs created inside NF constructors are
-		// metered, as with sysctl kernel.bpf_stats_enabled.
+		// metered, as with sysctl kernel.bpf_stats_enabled. -serve needs
+		// it too: /profile and the vm_* scrape families read these.
 		vm.SetGlobalStats(true)
 	}
+	var tcfg *trace.Config
+	if *doTrace {
+		tcfg = &trace.Config{Capacity: *traceCap, SampleRate: *traceSample, Seed: *traceSeed}
+	}
+	// Single-shard tracing uses the global recorder so VMs built inside
+	// NF constructors pick it up; sharded runs get per-shard rings from
+	// ParallelRunTraced instead.
+	var rec *trace.Recorder
+	if tcfg != nil && *shards <= 1 {
+		rec = trace.NewRecorder(*tcfg)
+		trace.SetGlobal(rec)
+	}
+	var srv *obs.Server
+	var base string
+	if *serve != "" {
+		srv = obs.New()
+		if rec != nil {
+			srv.SetRecorder(rec)
+		}
+		addr, err := srv.Start(*serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base = "http://" + addr
+		fmt.Fprintf(os.Stderr, "obs: serving /metrics /trace /profile /debug/pprof on %s\n", base)
+	}
+
 	if *shards > 1 {
-		runSharded(*name, flavor, trace, *shards, *trials, *stats)
+		runSharded(*name, flavor, tr, *shards, *trials, *stats, tcfg, srv)
+		finishServe(srv, base, *smoke, *hold)
 		return
 	}
-	inst, err := nfcatalog.Build(*name, flavor, trace)
+	inst, err := nfcatalog.Build(*name, flavor, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -110,7 +161,7 @@ func main() {
 		}
 	}
 	if *profile {
-		rep, err := harness.Profile(inst, trace)
+		rep, err := harness.Profile(inst, tr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -128,58 +179,187 @@ func main() {
 		fmt.Print(isa.Disassemble(v.Prog.Instructions()))
 		return
 	}
-	res, err := harness.Throughput(inst, trace, *trials)
+	if srv != nil {
+		// Live instrumentation: per-packet latency and verdict counters
+		// land in the server's registry while the replay runs.
+		inst = obs.Instrument(inst, srv.Registry())
+	}
+	res, err := harness.Throughput(inst, tr, *trials)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Println(res)
-	lat, err := harness.Latency(inst, trace)
+	lat, err := harness.Latency(inst, tr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Println(lat)
 
-	if *stats {
-		merged := vm.CollectStats()
-		merged.Merge(nativeStats)
-		reg := telemetry.NewRegistry()
-		merged.Publish(reg)
+	publishRun := func(reg *telemetry.Registry) {
 		labels := []telemetry.Label{
 			telemetry.L("nf", inst.Name()),
 			telemetry.L("flavor", inst.Flavor().String()),
 		}
 		reg.Gauge("nf_pps", labels...).Set(res.PPS)
 		reg.Gauge("nf_ns_per_pkt", labels...).Set(res.NsPerOp)
-		for _, q := range []struct {
-			name string
-			v    float64
-		}{
-			{"p50", lat.P50}, {"p99", lat.P99}, {"mean", lat.Mean},
-		} {
-			reg.Gauge("nf_latency_ns", append(labels, telemetry.L("quantile", q.name))...).Set(q.v)
-		}
 		reg.SetHelp("nf_pps", "mean throughput, packets per second")
 		reg.SetHelp("nf_ns_per_pkt", "mean per-packet processing time")
-		reg.SetHelp("nf_latency_ns", "per-packet latency incl. wire term")
+		lat.Publish(reg)
+	}
+	if srv != nil {
+		publishRun(srv.Registry())
+	}
+	if *stats {
+		merged := vm.CollectStats()
+		merged.Merge(nativeStats)
+		reg := telemetry.NewRegistry()
+		merged.Publish(reg)
+		publishRun(reg)
 		fmt.Println()
 		if err := reg.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	if rec != nil && srv == nil {
+		// -trace without -serve: dump the flight recording as JSONL.
+		fmt.Fprintf(os.Stderr, "trace: %d events emitted, %d dropped, %d/%d packets sampled\n",
+			rec.Emitted(), rec.Drops(), rec.SampledPackets(), rec.Packets())
+		dumpEvents(rec.Drain(0))
+	}
+	finishServe(srv, base, *smoke, *hold)
+}
+
+// dumpEvents writes events as JSONL on stdout, the same shape /trace
+// serves.
+func dumpEvents(evs []trace.Event) {
+	enc := json.NewEncoder(os.Stdout)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// finishServe runs the post-replay server phases: the -smoke self-scrape
+// and the -hold wait. No-op when -serve is off.
+func finishServe(srv *obs.Server, base string, smoke, hold bool) {
+	if srv == nil {
+		return
+	}
+	defer srv.Close()
+	if smoke {
+		if err := smokeCheck(base); err != nil {
+			fmt.Fprintln(os.Stderr, "obs smoke:", err)
+			os.Exit(1)
+		}
+		fmt.Println("obs smoke: /metrics /trace /profile /debug/pprof OK")
+	}
+	if hold {
+		fmt.Fprintf(os.Stderr, "obs: replay done, holding %s (SIGINT to exit)\n", base)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+		<-ch
+	}
+}
+
+// smokeCheck self-scrapes every observability endpoint and validates the
+// payload shapes — the CI gate behind `make obs-smoke`.
+func smokeCheck(base string) error {
+	get := func(path string) (string, error) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return "", fmt.Errorf("GET %s: %w", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{"vm_run_cnt", "nf_latency_ns_bucket", "nf_pps"} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metrics missing family %q", want)
+		}
+	}
+	traceBody, err := get("/trace?kind=verdict&limit=5")
+	if err != nil {
+		return err
+	}
+	verdicts := 0
+	for _, line := range strings.Split(strings.TrimSpace(traceBody), "\n") {
+		if line == "" {
+			continue
+		}
+		var ev trace.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return fmt.Errorf("/trace: bad JSONL %q: %w", line, err)
+		}
+		if ev.Kind != trace.KindVerdict {
+			return fmt.Errorf("/trace: kind filter leaked a %s event", ev.Kind)
+		}
+		verdicts++
+	}
+	if verdicts == 0 {
+		return fmt.Errorf("/trace returned no verdict events")
+	}
+	profBody, err := get("/profile")
+	if err != nil {
+		return err
+	}
+	var reports []harness.ProfileReport
+	if err := json.Unmarshal([]byte(profBody), &reports); err != nil {
+		return fmt.Errorf("/profile: bad JSON: %w", err)
+	}
+	if len(reports) == 0 {
+		return fmt.Errorf("/profile returned no reports")
+	}
+	if _, err := get("/debug/pprof/cmdline"); err != nil {
+		return err
+	}
+	return nil
 }
 
 // runSharded replays the trace RSS-style: the NF's op mix is applied
 // to the full trace, the trace is hash-partitioned by flow 5-tuple
 // across N shards, and each shard replays on its own instance (own VM
 // and maps) concurrently. Prints the merged result plus the per-shard
-// breakdown.
-func runSharded(name string, flavor nf.Flavor, trace *pktgen.Trace, shards, trials int, stats bool) {
-	nfcatalog.PrepareTrace(name, trace)
+// breakdown. With tcfg set, each shard gets its own flight-recorder
+// ring and the timestamp-merged stream goes to the obs server's /trace
+// (or stdout as JSONL when not serving).
+func runSharded(name string, flavor nf.Flavor, tr *pktgen.Trace, shards, trials int, stats bool, tcfg *trace.Config, srv *obs.Server) {
+	nfcatalog.PrepareTrace(name, tr)
 	sh := nfcatalog.NewSharded(name, flavor)
-	res, err := harness.ParallelRun(trace, shards, sh.Build, trials)
+	build := harness.ShardBuilder(sh.Build)
+	if srv != nil {
+		// Instrument every shard's instance; the wrapper delegates VM()
+		// so recorder/stats attachment still reaches the machines.
+		build = func(shard int, sub *pktgen.Trace) (nf.Instance, error) {
+			inst, err := sh.Build(shard, sub)
+			if err != nil {
+				return nil, err
+			}
+			return obs.Instrument(inst, srv.Registry()), nil
+		}
+	}
+	var res *harness.ParallelResult
+	var err error
+	if tcfg != nil {
+		res, err = harness.ParallelRunTraced(tr, shards, build, trials, *tcfg)
+	} else {
+		res, err = harness.ParallelRun(tr, shards, build, trials)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -190,12 +370,29 @@ func runSharded(name string, flavor nf.Flavor, trace *pktgen.Trace, shards, tria
 		fmt.Printf("  shard %d: %6d packets %12.0f pps [%s]\n",
 			s.Shard, s.Packets, s.PPS, s.Verdicts)
 	}
-	if stats && res.Stats != nil {
-		reg := telemetry.NewRegistry()
-		res.Stats.Publish(reg)
+	publish := func(reg *telemetry.Registry) {
+		if res.Stats != nil {
+			res.Stats.Publish(reg)
+		}
 		reg.Gauge("nf_pps",
 			telemetry.L("nf", res.Name), telemetry.L("flavor", res.Flavor),
 			telemetry.L("shards", fmt.Sprint(res.Shards))).Set(res.PPS)
+	}
+	if srv != nil {
+		publish(srv.Registry())
+	}
+	if tcfg != nil {
+		fmt.Fprintf(os.Stderr, "trace: %d events emitted, %d dropped across %d shard rings\n",
+			res.TraceEmitted, res.TraceDrops, res.Shards)
+		if srv != nil {
+			srv.AddEvents(res.Events)
+		} else {
+			dumpEvents(res.Events)
+		}
+	}
+	if stats {
+		reg := telemetry.NewRegistry()
+		publish(reg)
 		fmt.Println()
 		if err := reg.WriteText(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)

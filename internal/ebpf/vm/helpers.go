@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"enetstl/internal/trace"
 )
 
 // Helper IDs. Where a Linux equivalent exists the ID matches it;
@@ -112,9 +114,26 @@ func (vm *VM) invokeHelper(idx, id int32, a1, a2, a3, a4, a5 uint64) (uint64, er
 		cs := ps.callStats(ps.Helpers, id, HelperName(id))
 		cs.Count++
 		cs.Ns += uint64(time.Since(start).Nanoseconds())
+		vm.emitHelper(id, ret)
 		return ret, err
 	}
-	return fn(vm, a1, a2, a3, a4, a5)
+	ret, err := fn(vm, a1, a2, a3, a4, a5)
+	vm.emitHelper(id, ret)
+	return ret, err
+}
+
+// emitHelper records a helper completion for the sampled packet. Map
+// helpers are excluded: their closures emit richer map_op events (with
+// the miss flag) instead.
+func (vm *VM) emitHelper(id int32, ret uint64) {
+	if !vm.sampled {
+		return
+	}
+	switch id {
+	case HelperMapLookup, HelperMapUpdate, HelperMapDelete:
+		return
+	}
+	vm.emitCall(trace.KindHelper, HelperName(id), ret)
 }
 
 func (vm *VM) mapFromPtr(p uint64) (mapIdx int, ok bool) {
@@ -150,6 +169,9 @@ func registerBuiltinHelpers(vm *VM) {
 				ms.Miss++
 			}
 		}
+		if vm.sampled {
+			vm.emitMapOp(int32(idx), m, "lookup", !ok)
+		}
 		if !ok {
 			return 0, nil
 		}
@@ -172,6 +194,9 @@ func registerBuiltinHelpers(vm *VM) {
 		if st := vm.stats; st != nil {
 			st.mapStats(int32(idx), m.Type().String()).Update++
 		}
+		if vm.sampled {
+			vm.emitMapOp(int32(idx), m, "update", false)
+		}
 		if err := m.Update(key, val); err != nil {
 			return uint64(^uint64(0)), nil // -1, as the kernel returns -E*
 		}
@@ -189,6 +214,9 @@ func registerBuiltinHelpers(vm *VM) {
 		}
 		if st := vm.stats; st != nil {
 			st.mapStats(int32(idx), m.Type().String()).Delete++
+		}
+		if vm.sampled {
+			vm.emitMapOp(int32(idx), m, "delete", false)
 		}
 		if err := m.Delete(key); err != nil {
 			return uint64(^uint64(0)), nil

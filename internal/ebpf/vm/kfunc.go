@@ -3,6 +3,8 @@ package vm
 import (
 	"fmt"
 	"time"
+
+	"enetstl/internal/trace"
 )
 
 // ArgKind classifies a kfunc/helper argument for the verifier.
@@ -152,11 +154,17 @@ func (vm *VM) invokeKfunc(idx, id int32, a1, a2, a3, a4, a5 uint64) (uint64, err
 		if err != nil {
 			return 0, fmt.Errorf("kfunc %s: %w", k.Name, err)
 		}
+		if vm.sampled {
+			vm.emitCall(trace.KindKfunc, k.Name, ret)
+		}
 		return ret, nil
 	}
 	ret, err := k.Impl(vm, a1, a2, a3, a4, a5)
 	if err != nil {
 		return 0, fmt.Errorf("kfunc %s: %w", k.Name, err)
+	}
+	if vm.sampled {
+		vm.emitCall(trace.KindKfunc, k.Name, ret)
 	}
 	return ret, nil
 }

@@ -1172,7 +1172,7 @@ loop:
 			// the shared invoke path the wire loop uses.
 			var v uint64
 			var e error
-			if fn := vm.helperTab[d.call]; fn != nil && vm.curProg == nil {
+			if fn := vm.helperTab[d.call]; fn != nil && vm.curProg == nil && !vm.sampled {
 				v, e = fn(vm, r[1], r[2], r[3], r[4], r[5])
 			} else {
 				v, e = vm.invokeHelper(d.call, int32(uint32(d.imm)), r[1], r[2], r[3], r[4], r[5])
@@ -1186,7 +1186,7 @@ loop:
 		case kCallKfunc:
 			var v uint64
 			var e error
-			if k := vm.kfuncTab[d.call]; k != nil && vm.curProg == nil && vm.kfuncFault == nil {
+			if k := vm.kfuncTab[d.call]; k != nil && vm.curProg == nil && vm.kfuncFault == nil && !vm.sampled {
 				v, e = k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
 				if e != nil {
 					e = fmt.Errorf("kfunc %s: %w", k.Name, e)
@@ -1425,7 +1425,7 @@ loop:
 			}
 			var v uint64
 			var e error
-			if fn := vm.helperTab[d.call]; fn != nil && vm.curProg == nil {
+			if fn := vm.helperTab[d.call]; fn != nil && vm.curProg == nil && !vm.sampled {
 				v, e = fn(vm, r[1], r[2], r[3], r[4], r[5])
 			} else {
 				v, e = vm.invokeHelper(d.call, int32(uint32(d.imm)), r[1], r[2], r[3], r[4], r[5])
@@ -1450,7 +1450,7 @@ loop:
 			}
 			var v uint64
 			var e error
-			if k := vm.kfuncTab[d.call]; k != nil && vm.curProg == nil && vm.kfuncFault == nil {
+			if k := vm.kfuncTab[d.call]; k != nil && vm.curProg == nil && vm.kfuncFault == nil && !vm.sampled {
 				v, e = k.Impl(vm, r[1], r[2], r[3], r[4], r[5])
 				if e != nil {
 					e = fmt.Errorf("kfunc %s: %w", k.Name, e)

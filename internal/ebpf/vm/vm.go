@@ -14,10 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
-	"time"
 
 	"enetstl/internal/ebpf/isa"
 	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/trace"
 )
 
 // Pointers are encoded as regionID<<RegionShift | offset. Region 0 is
@@ -138,6 +138,15 @@ type VM struct {
 	stats   *Stats
 	curProg *ProgStats
 
+	// rec is the attached flight recorder; nil (the default) means
+	// tracing is off and Run's disabled path stays unmetered. sampled is
+	// true while the current packet is head-sampled in; curPkt/curFlow
+	// tag every event the packet generates.
+	rec     *trace.Recorder
+	sampled bool
+	curPkt  uint64
+	curFlow uint32
+
 	// kfuncFault, when set, is consulted before dispatching any kfunc
 	// whose Meta.ErrInject is true (the ALLOW_ERROR_INJECTION surface).
 	// Returning (ret, true) short-circuits the call: the kfunc body
@@ -163,6 +172,7 @@ func New() *VM {
 	if GlobalStatsEnabled() {
 		registerGlobalStats(vm.EnableStats())
 	}
+	vm.rec = trace.Global()
 	return vm
 }
 
@@ -557,28 +567,18 @@ func (vm *VM) Run(p *Program, ctx []byte) (ret uint64, err error) {
 			vm.lockHeld = 0
 			atomic.StoreUint32(&vm.lockWord, 0)
 			vm.curProg = nil
+			vm.sampled = false
 			ret = 0
 			err = fmt.Errorf("%w: program %q panicked: %v", ErrRuntimeFault, p.name, rec)
 		}
 	}()
-	if vm.stats == nil {
+	if vm.stats == nil && vm.rec == nil {
 		if vm.wire {
 			return vm.exec(p, ctx, nil)
 		}
 		return vm.execFast(p, ctx, nil)
 	}
-	ps := vm.stats.prog(p.name)
-	vm.curProg = ps
-	start := time.Now()
-	if vm.wire {
-		ret, err = vm.exec(p, ctx, ps)
-	} else {
-		ret, err = vm.execFast(p, ctx, ps)
-	}
-	ps.RunCnt++
-	ps.RunTimeNs += uint64(time.Since(start).Nanoseconds())
-	vm.curProg = nil
-	return ret, err
+	return vm.runObserved(p, ctx)
 }
 
 // exec is the interpreter loop. ps is non-nil only when stats are

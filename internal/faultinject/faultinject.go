@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"enetstl/internal/telemetry"
+	"enetstl/internal/trace"
 )
 
 // Standard site names for the runtime's failure surfaces. A Plane will
@@ -87,6 +88,11 @@ type Site struct {
 	armed     atomic.Bool
 	evaluated atomic.Uint64
 	injected  atomic.Uint64
+
+	// rec receives a KindFault event for every injected fault, so the
+	// flight recorder can correlate injections with the packets whose
+	// verdicts they changed. Nil when tracing is off.
+	rec atomic.Pointer[trace.Recorder]
 }
 
 // Name returns the site name.
@@ -136,6 +142,11 @@ func (s *Site) Fire() bool {
 	}
 	if fire {
 		s.injected.Add(1)
+		if r := s.rec.Load(); r != nil {
+			// Fault events bypass packet sampling: injections are rare and
+			// each one explains a verdict, so every injection is recorded.
+			r.Emit(trace.Event{Kind: trace.KindFault, Name: s.name, Val: n})
+		}
 	}
 	return fire
 }
@@ -143,6 +154,7 @@ func (s *Site) Fire() bool {
 // Plane owns the sites of one fault domain (typically: one chaos run).
 type Plane struct {
 	seed uint64
+	rec  *trace.Recorder
 
 	mu    sync.Mutex
 	sites map[string]*Site
@@ -154,7 +166,11 @@ func New(seed uint64) *Plane {
 	if seed == 0 {
 		seed = 0x51_7cc1b727220a95
 	}
-	return &Plane{seed: seed, sites: make(map[string]*Site)}
+	p := &Plane{seed: seed, sites: make(map[string]*Site)}
+	// Like vm.New with the global stats gate: planes built while the
+	// process-wide recorder is set report injections into it.
+	p.rec = trace.Global()
+	return p
 }
 
 // Site returns the named site, creating it disarmed if needed.
@@ -168,9 +184,21 @@ func (p *Plane) Site(name string) *Site {
 			h = splitmix64(h ^ uint64(c))
 		}
 		s = &Site{name: name, seed: h}
+		s.rec.Store(p.rec)
 		p.sites[name] = s
 	}
 	return s
+}
+
+// SetRecorder attaches (or, with nil, detaches) a flight recorder on
+// the plane and every existing site.
+func (p *Plane) SetRecorder(r *trace.Recorder) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rec = r
+	for _, s := range p.sites {
+		s.rec.Store(r)
+	}
 }
 
 // Arm installs sched on the named site and enables it (arming with an

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"enetstl/internal/telemetry"
+	"enetstl/internal/trace"
 )
 
 func firePattern(seed uint64, sched Schedule, n int) []bool {
@@ -144,5 +145,50 @@ func BenchmarkFireNil(b *testing.B) {
 		if s.Fire() {
 			b.Fatal("nil site fired")
 		}
+	}
+}
+
+func TestFireEmitsFaultEvents(t *testing.T) {
+	rec := trace.NewRecorder(trace.Config{Capacity: 64})
+	p := New(7)
+	p.SetRecorder(rec)
+	s := p.Arm("boom", Schedule{EveryNth: 3})
+	for i := 0; i < 9; i++ {
+		s.Fire()
+	}
+	evs := rec.Drain(0)
+	if len(evs) != 3 {
+		t.Fatalf("%d fault events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Kind != trace.KindFault || ev.Name != "boom" {
+			t.Fatalf("event %d: %+v", i, ev)
+		}
+		if want := uint64(3 * (i + 1)); ev.Val != want {
+			t.Fatalf("event %d: call index %d, want %d", i, ev.Val, want)
+		}
+	}
+	// Sites created after SetRecorder inherit it.
+	s2 := p.Arm("boom2", Schedule{EveryNth: 1})
+	s2.Fire()
+	if evs := rec.Drain(0); len(evs) != 1 || evs[0].Name != "boom2" {
+		t.Fatalf("new site events: %+v", evs)
+	}
+	// Detach stops emission.
+	p.SetRecorder(nil)
+	s2.Fire()
+	if evs := rec.Drain(0); len(evs) != 0 {
+		t.Fatalf("detached plane still emitted: %+v", evs)
+	}
+}
+
+func TestPlanePicksUpGlobalRecorder(t *testing.T) {
+	rec := trace.NewRecorder(trace.Config{Capacity: 16})
+	trace.SetGlobal(rec)
+	defer trace.SetGlobal(nil)
+	p := New(1)
+	p.Arm("g", Schedule{EveryNth: 1}).Fire()
+	if evs := rec.Drain(0); len(evs) != 1 || evs[0].Name != "g" {
+		t.Fatalf("global-recorder plane events: %+v", evs)
 	}
 }

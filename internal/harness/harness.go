@@ -163,8 +163,26 @@ type LatencyResult struct {
 	// Dist is the full latency distribution (telemetry histogram
 	// snapshot: count, sum, min/max, bucket-estimated quantiles).
 	Dist telemetry.HistSnapshot
+	// Hist is the live histogram behind Dist; Publish merges it into a
+	// registry as a native Prometheus histogram series.
+	Hist *telemetry.Histogram
 	// Stats mirrors Result.Stats for VM-backed instances.
 	Stats *vm.ProgStats
+}
+
+// Publish exports the latency measurement into reg: nf_latency_ns as a
+// native Prometheus histogram (bucket/sum/count series) plus the exact
+// rank-interpolated quantiles as nf_latency_quantile_ns gauges, labeled
+// by NF and flavor.
+func (l LatencyResult) Publish(reg *telemetry.Registry) {
+	nfl := telemetry.L("nf", l.Name)
+	fl := telemetry.L("flavor", l.Flavor)
+	reg.SetHelp("nf_latency_ns", "per-packet latency distribution, ns (includes wire term)")
+	reg.SetHelp("nf_latency_quantile_ns", "exact rank-interpolated latency quantiles, ns")
+	reg.MergeHistogram("nf_latency_ns", l.Hist, nfl, fl)
+	reg.Gauge("nf_latency_quantile_ns", nfl, fl, telemetry.L("quantile", "p50")).Set(l.P50)
+	reg.Gauge("nf_latency_quantile_ns", nfl, fl, telemetry.L("quantile", "p99")).Set(l.P99)
+	reg.Gauge("nf_latency_quantile_ns", nfl, fl, telemetry.L("quantile", "mean")).Set(l.Mean)
 }
 
 func (l LatencyResult) String() string {
@@ -208,6 +226,7 @@ func Latency(inst nf.Instance, trace *pktgen.Trace) (LatencyResult, error) {
 		P99:   telemetry.Quantile(durs, 0.99),
 		Mean:  sum / float64(len(durs)),
 		Dist:  hist.Snapshot(),
+		Hist:  hist,
 		Stats: vmStats(inst),
 	}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/nf"
 	"enetstl/internal/pktgen"
+	"enetstl/internal/trace"
 )
 
 // RSS-sharded parallel replay. A real multi-queue NIC hashes each
@@ -58,6 +59,13 @@ type ParallelResult struct {
 	Stats *vm.Stats
 	// PerShard holds the per-shard breakdown, indexed by shard.
 	PerShard []ShardResult
+	// Events is the per-shard flight-recorder merge in timestamp order
+	// (ParallelRunTraced only; nil otherwise). Rings are attached after
+	// the warm-up pass, so events cover exactly the measured trials.
+	Events []trace.Event
+	// TraceEmitted / TraceDrops total the per-shard ring accounting.
+	TraceEmitted uint64
+	TraceDrops   uint64
 }
 
 func (r ParallelResult) String() string {
@@ -70,17 +78,30 @@ func (r ParallelResult) String() string {
 // each after one untallied warm-up pass. The trace must already carry
 // its op mix (nfcatalog.PrepareTrace) — mixing after sharding would
 // make packet contents depend on the shard count.
-func ParallelRun(trace *pktgen.Trace, shards int, build ShardBuilder, trials int) (*ParallelResult, error) {
+func ParallelRun(tr *pktgen.Trace, shards int, build ShardBuilder, trials int) (*ParallelResult, error) {
+	return parallelRun(tr, shards, build, trials, nil)
+}
+
+// ParallelRunTraced is ParallelRun with per-shard flight recorders: each
+// shard's VMs get their own ring (per-CPU ringbuf idiom) configured by
+// tcfg.ForShard, attached between the warm-up and measured passes, and
+// the rings are drained and merged in timestamp order into
+// ParallelResult.Events after the run.
+func ParallelRunTraced(tr *pktgen.Trace, shards int, build ShardBuilder, trials int, tcfg trace.Config) (*ParallelResult, error) {
+	return parallelRun(tr, shards, build, trials, &tcfg)
+}
+
+func parallelRun(tr *pktgen.Trace, shards int, build ShardBuilder, trials int, tcfg *trace.Config) (*ParallelResult, error) {
 	if shards <= 0 {
 		shards = 1
 	}
 	if trials <= 0 {
 		trials = 3
 	}
-	if len(trace.Packets) == 0 {
+	if len(tr.Packets) == 0 {
 		return nil, fmt.Errorf("harness: empty trace")
 	}
-	subs := trace.Shard(shards)
+	subs := tr.Shard(shards)
 	insts := make([]nf.Instance, len(subs))
 	for s, sub := range subs {
 		inst, err := build(s, sub)
@@ -151,12 +172,24 @@ func ParallelRun(trace *pktgen.Trace, shards int, build ShardBuilder, trials int
 	if _, _, err := run(false); err != nil { // warm-up
 		return nil, err
 	}
+	// Attach per-shard rings after the warm-up so the recorded events
+	// (and packet sampling indices) cover exactly the measured trials.
+	var recs []*trace.Recorder
+	if tcfg != nil {
+		recs = make([]*trace.Recorder, len(insts))
+		for s, inst := range insts {
+			recs[s] = trace.NewRecorder(tcfg.ForShard(s))
+			for _, m := range vmsOf(inst) {
+				m.SetRecorder(recs[s])
+			}
+		}
+	}
 	perShard, elapsed, err := run(true)
 	if err != nil {
 		return nil, err
 	}
 
-	total := trials * len(trace.Packets)
+	total := trials * len(tr.Packets)
 	out := &ParallelResult{
 		Name:     insts[0].Name(),
 		Flavor:   insts[0].Flavor().String(),
@@ -182,6 +215,18 @@ func ParallelRun(trace *pktgen.Trace, shards int, build ShardBuilder, trials int
 			out.Stats = vm.NewStats()
 		}
 		out.Stats.Merge(v.VM().Stats())
+	}
+	if recs != nil {
+		chunks := make([][]trace.Event, len(recs))
+		for s, rec := range recs {
+			for _, m := range vmsOf(insts[s]) {
+				m.SetRecorder(nil)
+			}
+			chunks[s] = rec.Drain(0)
+			out.TraceEmitted += rec.Emitted()
+			out.TraceDrops += rec.Drops()
+		}
+		out.Events = trace.MergeByTime(chunks...)
 	}
 	return out, nil
 }

@@ -12,6 +12,7 @@ import (
 	"math/rand"
 
 	"enetstl/internal/nf"
+	"enetstl/internal/trace"
 )
 
 // Packet is one synthetic 64-byte packet.
@@ -89,17 +90,10 @@ func Generate(cfg Config) *Trace {
 // partitions traces with it and the op-mix helpers derive per-flow
 // arguments from it.
 func FlowHash(key []byte) uint32 {
-	h := uint32(2166136261)
-	for _, b := range key {
-		h ^= uint32(b)
-		h *= 16777619
-	}
-	h ^= h >> 16
-	h *= 0x85ebca6b
-	h ^= h >> 13
-	h *= 0xc2b2ae35
-	h ^= h >> 16
-	return h
+	// The implementation lives in internal/trace so the VM (which cannot
+	// import pktgen) computes identical flow hashes: /trace flow filters,
+	// RSS sharding, and op-mix argument keying all agree on one function.
+	return trace.FlowHash(key)
 }
 
 // ShardOf maps a flow key to one of n RSS shards.

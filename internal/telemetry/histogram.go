@@ -80,6 +80,47 @@ func (h *Histogram) Observe(v float64) {
 	h.mu.Unlock()
 }
 
+// Merge folds other's observations into h. Both histograms must share
+// bucket bounds; merging mismatched layouts panics (it would silently
+// misbin). Used to combine per-shard latency histograms post-run.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	obounds, ocounts, ocount, osum := other.buckets()
+	omin, omax := other.MinMax()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(obounds) != len(h.bounds) {
+		panic("telemetry: histogram merge with mismatched bucket count")
+	}
+	for i, b := range obounds {
+		if b != h.bounds[i] {
+			panic("telemetry: histogram merge with mismatched bounds")
+		}
+	}
+	for i, c := range ocounts {
+		h.counts[i] += c
+	}
+	h.count += ocount
+	h.sum += osum
+	if ocount > 0 {
+		if omin < h.min {
+			h.min = omin
+		}
+		if omax > h.max {
+			h.max = omax
+		}
+	}
+}
+
+// MinMax returns the observed extrema (+Inf/-Inf when empty).
+func (h *Histogram) MinMax() (min, max float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min, h.max
+}
+
 // buckets returns copies of the internal state for exposition.
 func (h *Histogram) buckets() (bounds []float64, counts []uint64, count uint64, sum float64) {
 	h.mu.Lock()

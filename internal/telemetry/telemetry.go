@@ -187,6 +187,67 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	return s.h
 }
 
+// MergeHistogram folds src's observations into the named histogram
+// series, creating it with src's bucket bounds when absent. This is how
+// harness latency histograms become nf_latency_ns series.
+func (r *Registry) MergeHistogram(name string, src *Histogram, labels ...Label) {
+	if src == nil {
+		return
+	}
+	bounds, _, _, _ := src.buckets()
+	r.Histogram(name, bounds, labels...).Merge(src)
+}
+
+// Merge folds every series of src into r: counters add, gauges take
+// src's current value, histograms merge observation-wise, and help
+// strings fill in where r has none. The obs server uses it to combine
+// per-scrape gatherer output with its long-lived registry without
+// emitting duplicate families.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r {
+		return
+	}
+	type entry struct {
+		name   string
+		help   string
+		kind   Kind
+		labels []Label
+		c      uint64
+		g      float64
+		h      *Histogram
+	}
+	src.mu.Lock()
+	var entries []entry
+	for _, f := range src.families {
+		for _, s := range f.series {
+			e := entry{name: f.name, help: f.help, kind: f.kind, labels: s.labels}
+			switch f.kind {
+			case KindCounter:
+				e.c = s.c.Value()
+			case KindGauge:
+				e.g = s.g.Value()
+			case KindHistogram:
+				e.h = s.h
+			}
+			entries = append(entries, e)
+		}
+	}
+	src.mu.Unlock()
+	for _, e := range entries {
+		switch e.kind {
+		case KindCounter:
+			r.Counter(e.name, e.labels...).Add(e.c)
+		case KindGauge:
+			r.Gauge(e.name, e.labels...).Set(e.g)
+		case KindHistogram:
+			r.MergeHistogram(e.name, e.h, e.labels...)
+		}
+		if e.help != "" {
+			r.SetHelp(e.name, e.help)
+		}
+	}
+}
+
 // SetHelp attaches a `# HELP` line to the family (created lazily if the
 // family does not exist yet the help is kept until it does).
 func (r *Registry) SetHelp(name, help string) {

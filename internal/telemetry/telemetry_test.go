@@ -185,3 +185,88 @@ func TestExpBuckets(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramBucketBoundaries pins Prometheus bucket semantics for the
+// exported latency histograms: bounds are inclusive upper edges, bucket
+// lines are cumulative, and values above the top bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("nf_latency_ns", []float64{1, 2, 4}, L("nf", "t"))
+	h.Observe(1)   // exactly on a bound: le="1"
+	h.Observe(1.5) // inside (1,2]: le="2"
+	h.Observe(4)   // exactly on the top bound: le="4"
+	h.Observe(5)   // above every bound: +Inf only
+	text := r.Text()
+	for _, want := range []string{
+		`nf_latency_ns_bucket{nf="t",le="1"} 1`,
+		`nf_latency_ns_bucket{nf="t",le="2"} 2`,
+		`nf_latency_ns_bucket{nf="t",le="4"} 3`,
+		`nf_latency_ns_bucket{nf="t",le="+Inf"} 4`,
+		`nf_latency_ns_sum{nf="t"} 11.5`,
+		`nf_latency_ns_count{nf="t"} 4`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 4})
+	b := NewHistogram([]float64{1, 2, 4})
+	a.Observe(0.5)
+	a.Observe(3)
+	b.Observe(8)
+	a.Merge(b)
+	s := a.Snapshot()
+	if s.Count != 3 || s.Sum != 11.5 || s.Min != 0.5 || s.Max != 8 {
+		t.Fatalf("merged snapshot: %+v", s)
+	}
+	// Merging an empty histogram must not disturb extrema.
+	a.Merge(NewHistogram([]float64{1, 2, 4}))
+	if s2 := a.Snapshot(); s2.Min != 0.5 || s2.Max != 8 {
+		t.Fatalf("empty merge disturbed extrema: %+v", s2)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched-bounds merge did not panic")
+		}
+	}()
+	a.Merge(NewHistogram([]float64{1, 2}))
+}
+
+func TestRegistryMerge(t *testing.T) {
+	static := NewRegistry()
+	static.Counter("hits", L("nf", "a")).Add(3)
+	static.SetHelp("hits", "hit count")
+	static.Gauge("level").Set(2.5)
+	static.Histogram("lat", []float64{1, 2}, L("nf", "a")).Observe(1)
+
+	scrape := NewRegistry()
+	scrape.Counter("hits", L("nf", "a")).Add(4)
+	scrape.Counter("scrape_only").Inc()
+	scrape.Merge(static)
+
+	if got := scrape.Counter("hits", L("nf", "a")).Value(); got != 7 {
+		t.Fatalf("merged counter = %d, want 7", got)
+	}
+	if got := scrape.Gauge("level").Value(); got != 2.5 {
+		t.Fatalf("merged gauge = %g", got)
+	}
+	text := scrape.Text()
+	for _, want := range []string{
+		"# HELP hits hit count",
+		`lat_count{nf="a"} 1`,
+		"scrape_only 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("merged exposition missing %q:\n%s", want, text)
+		}
+	}
+	// Self-merge and nil-merge are no-ops.
+	scrape.Merge(scrape)
+	scrape.Merge(nil)
+	if got := scrape.Counter("hits", L("nf", "a")).Value(); got != 7 {
+		t.Fatalf("self-merge doubled counter: %d", got)
+	}
+}

@@ -1,0 +1,238 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+// TestRingOverrunDrops pins the BPF-ringbuf drop contract: a full ring
+// rejects new events, counts every rejection, and keeps the first
+// `capacity` events intact for the consumer.
+func TestRingOverrunDrops(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 8})
+	if r.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", r.Capacity())
+	}
+	const total = 20
+	for i := 0; i < total; i++ {
+		r.Emit(Event{Kind: KindVerdict, Val: uint64(i)})
+	}
+	if r.Emitted() != 8 {
+		t.Fatalf("emitted = %d, want 8", r.Emitted())
+	}
+	if r.Drops() != total-8 {
+		t.Fatalf("drops = %d, want %d", r.Drops(), total-8)
+	}
+	evs := r.Drain(0)
+	if len(evs) != 8 {
+		t.Fatalf("drained %d events, want 8", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Val != uint64(i) || ev.Seq != uint64(i) {
+			t.Fatalf("event %d: val=%d seq=%d, want FIFO order", i, ev.Val, ev.Seq)
+		}
+	}
+	// Draining frees capacity: the ring accepts again without new drops.
+	before := r.Drops()
+	if !r.Emit(Event{Kind: KindFault}) {
+		t.Fatal("emit after drain rejected")
+	}
+	if r.Drops() != before {
+		t.Fatalf("drop counter moved on a non-full ring")
+	}
+}
+
+// TestSamplingDeterminism is the seeded head-sampling contract: the
+// sampled packet set is a pure function of (seed, arrival index).
+func TestSamplingDeterminism(t *testing.T) {
+	const n = 4000
+	draw := func(seed uint64, rate float64) []bool {
+		r := NewRecorder(Config{Capacity: 16, SampleRate: rate, Seed: seed})
+		out := make([]bool, n)
+		for i := range out {
+			pkt, ok := r.SamplePacket()
+			if pkt != uint64(i) {
+				t.Fatalf("packet index %d, want %d", pkt, i)
+			}
+			out[i] = ok
+		}
+		return out
+	}
+
+	a, b := draw(42, 0.25), draw(42, 0.25)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d: same seed sampled differently", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	// The admitted fraction tracks the rate (binomial, wide tolerance).
+	if frac := float64(hits) / n; frac < 0.18 || frac > 0.32 {
+		t.Fatalf("sample fraction %.3f far from rate 0.25", frac)
+	}
+
+	c := draw(43, 0.25)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical sample sets")
+	}
+
+	// Rate <= 0 and >= 1 both mean "sample everything".
+	for _, rate := range []float64{0, 1, 1.5} {
+		s := draw(7, rate)
+		for i, ok := range s {
+			if !ok {
+				t.Fatalf("rate %g: packet %d not sampled", rate, i)
+			}
+		}
+	}
+}
+
+// TestConcurrentEmit hammers one ring from many producers (the shared
+// global-recorder shape under ParallelRun) while a consumer drains, and
+// checks conservation: every attempt is either consumed, still
+// buffered, or counted as a drop, and no event is duplicated.
+func TestConcurrentEmit(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 5000
+	)
+	r := NewRecorder(Config{Capacity: 1024})
+	doneProducing := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				r.Emit(Event{Kind: KindHelper, Val: uint64(p)<<32 | uint64(i)})
+			}
+		}(p)
+	}
+	seen := make(map[uint64]bool)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		consume := func() int {
+			evs := r.Drain(256)
+			for _, ev := range evs {
+				if seen[ev.Seq] {
+					t.Errorf("seq %d consumed twice", ev.Seq)
+				}
+				seen[ev.Seq] = true
+			}
+			return len(evs)
+		}
+		for {
+			select {
+			case <-doneProducing:
+				// Producers are done; drain whatever is left.
+				for consume() > 0 {
+				}
+				return
+			default:
+				consume()
+			}
+		}
+	}()
+	wg.Wait()
+	close(doneProducing)
+	<-done
+
+	total := uint64(producers * perProd)
+	if got := r.Emitted() + r.Drops(); got != total {
+		t.Fatalf("emitted(%d)+drops(%d) = %d, want %d", r.Emitted(), r.Drops(), got, total)
+	}
+	if uint64(len(seen)) != r.Emitted() {
+		t.Fatalf("consumed %d events, emitted %d", len(seen), r.Emitted())
+	}
+}
+
+// TestMergeByTime checks the per-shard ring merge: output ordered by
+// (TS, Shard, Seq).
+func TestMergeByTime(t *testing.T) {
+	a := []Event{{TS: 5, Shard: 0, Seq: 0}, {TS: 9, Shard: 0, Seq: 1}}
+	b := []Event{{TS: 3, Shard: 1, Seq: 0}, {TS: 5, Shard: 1, Seq: 1}, {TS: 7, Shard: 1, Seq: 2}}
+	got := MergeByTime(a, b)
+	want := []Event{
+		{TS: 3, Shard: 1, Seq: 0},
+		{TS: 5, Shard: 0, Seq: 0},
+		{TS: 5, Shard: 1, Seq: 1},
+		{TS: 7, Shard: 1, Seq: 2},
+		{TS: 9, Shard: 0, Seq: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestEventJSON round-trips the JSONL encoding /trace streams.
+func TestEventJSON(t *testing.T) {
+	ev := Event{Seq: 3, TS: 99, Kind: KindMapOp, Shard: 2, Pkt: 7,
+		Flow: 0xdeadbeef, Name: "hash", Op: "lookup", Miss: true}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Event
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != ev {
+		t.Fatalf("round trip %+v != %+v", back, ev)
+	}
+	if _, ok := KindFromString("verdict"); !ok {
+		t.Fatal("KindFromString(verdict) failed")
+	}
+}
+
+// TestForShardDerivation: per-shard configs decorrelate seeds but keep
+// capacity/rate, and stamp the shard id.
+func TestForShardDerivation(t *testing.T) {
+	base := Config{Capacity: 64, SampleRate: 0.5, Seed: 9}
+	c0, c1 := base.ForShard(0), base.ForShard(1)
+	if c0.Seed == c1.Seed {
+		t.Fatal("shard seeds not decorrelated")
+	}
+	if c0.Shard != 0 || c1.Shard != 1 {
+		t.Fatalf("shard stamps %d/%d", c0.Shard, c1.Shard)
+	}
+	if c1.Capacity != 64 || c1.SampleRate != 0.5 {
+		t.Fatal("ForShard must preserve capacity and rate")
+	}
+	r := NewRecorder(c1)
+	r.Emit(Event{Kind: KindFault})
+	if evs := r.Drain(0); len(evs) != 1 || evs[0].Shard != 1 {
+		t.Fatalf("emitted event not stamped with shard: %+v", evs)
+	}
+}
+
+// TestGlobalGate: the process-wide switch mirrors vm.SetGlobalStats.
+func TestGlobalGate(t *testing.T) {
+	if Global() != nil {
+		t.Fatal("global recorder set at test start")
+	}
+	r := NewRecorder(Config{Capacity: 4})
+	SetGlobal(r)
+	if Global() != r {
+		t.Fatal("SetGlobal did not install")
+	}
+	SetGlobal(nil)
+	if Global() != nil {
+		t.Fatal("SetGlobal(nil) did not clear")
+	}
+}
