@@ -1,8 +1,8 @@
 # Developer entry points. `make check` is the pre-PR gate: formatting,
 # vet, build, full tests, race coverage of the whole module, the
 # differential conformance suite (flavour equivalence + VM-vs-reference
-# sweep), a bounded fuzz smoke over every native fuzz target, and a
-# quick chaos smoke over the full NF catalog.
+# sweep), a bounded fuzz smoke over every native fuzz target, and quick
+# chaos and adversarial-attack smokes over the full NF catalog.
 
 GO ?= go
 
@@ -10,11 +10,11 @@ GO ?= go
 # e.g. `make fuzz-smoke FUZZTIME=2m`.
 FUZZTIME ?= 10s
 
-.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke chaos-smoke obs-smoke
+.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke chaos-smoke attack-smoke obs-smoke
 
 all: check
 
-check: fmt vet build test race difftest fuzz-smoke chaos-smoke obs-smoke bench-vm-smoke
+check: fmt vet build test race difftest fuzz-smoke chaos-smoke attack-smoke obs-smoke bench-vm-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -56,6 +56,12 @@ fuzz-smoke:
 # (rpool refills happen once per ~4096 draws).
 chaos-smoke:
 	$(GO) run ./cmd/nfrun -chaos -packets 1500 -flows 256
+
+# Adversarial grid smoke: every NF/flavour under every scenario, guard
+# off and on. 1500 packets keeps the shedder past its AutoBudget
+# calibration window inside every attack burst.
+attack-smoke:
+	$(GO) run ./cmd/nfrun -attack -packets 1500 -flows 192
 
 # Observability plane end-to-end: replay with the flight recorder and
 # the HTTP server up, then self-scrape /metrics, /trace (filtered

@@ -18,6 +18,7 @@ import (
 	"enetstl/internal/harness"
 	"enetstl/internal/nfcatalog"
 	"enetstl/internal/obs"
+	"enetstl/internal/pktgen"
 	"enetstl/internal/telemetry"
 )
 
@@ -30,6 +31,7 @@ func main() {
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 		stats   = flag.Bool("stats", false, "enable VM runtime stats and print metrics exposition after the run")
 		faults  = flag.Bool("faults", false, "run the chaos fault-injection suite over the full NF catalog instead of the paper experiments")
+		attack  = flag.Bool("attack", false, "run the adversarial scenario grid (guard off vs on) over the full NF catalog instead of the paper experiments")
 		serve   = flag.String("serve", "", "serve the observability plane (/metrics /profile /debug/pprof) on this address while the experiments run; implies live VM stats")
 	)
 	flag.Parse()
@@ -50,6 +52,10 @@ func main() {
 
 	if *faults {
 		runFaults(*packets, *stats)
+		return
+	}
+	if *attack {
+		runAttack(*packets, *stats)
 		return
 	}
 
@@ -104,6 +110,54 @@ func dumpStats(enabled bool) {
 	vm.CollectStats().Publish(reg)
 	if err := reg.WriteText(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// runAttack replays the full NF catalog under each adversarial scenario
+// separately, guard off and guard on, and prints the overload table:
+// what the guarded arms admitted, shed, and sampled out, how often they
+// degraded, and how many resilience-contract violations escaped (the
+// paper-quality answer is zero). Exits non-zero on any violation.
+func runAttack(packets int, stats bool) {
+	fmt.Println("attack resilience: full NF catalog, guard off vs on, one row per scenario")
+	fmt.Printf("%-16s %6s %10s %10s %10s %10s %10s %11s\n",
+		"scenario", "cases", "packets", "admitted", "shed", "sampled", "degrades", "violations")
+	var total uint64
+	reg := telemetry.NewRegistry()
+	for _, kind := range pktgen.Scenarios() {
+		cases, err := nfcatalog.AttackCases(nfcatalog.AttackConfig{
+			Packets: packets, Scenarios: []pktgen.ScenarioKind{kind}})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		res := harness.Attack(cases)
+		var admitted, shed, sampled, degrades uint64
+		for _, row := range res.Rows {
+			if row.GuardOn {
+				admitted += row.Admitted
+				shed += row.Shed
+				sampled += row.Sampled
+				degrades += row.Degrades
+			}
+		}
+		fmt.Printf("%-16s %6d %10d %10d %10d %10d %10d %11d\n",
+			kind, res.Cases, res.Packets, admitted, shed, sampled, degrades, res.ViolationsTotal)
+		for _, v := range res.Violations {
+			fmt.Printf("    %s\n", v.String())
+		}
+		res.Publish(reg)
+		total += res.ViolationsTotal
+	}
+	if stats {
+		fmt.Println()
+		if err := reg.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if total > 0 {
 		os.Exit(1)
 	}
 }

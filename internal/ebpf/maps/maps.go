@@ -242,6 +242,12 @@ func (h *Hash) MaxEntries() int { return h.maxEntries }
 // Len returns the number of stored entries.
 func (h *Hash) Len() int { return h.count }
 
+// SlotHash exposes the slot-index hash so adversarial traffic
+// generators can derive keys that collide against the real bucket
+// layout: keys equal mod a power-of-two B collide in every table of at
+// most B slots (slot counts are powers of two).
+func SlotHash(key []byte) uint64 { return fnv1a(key) }
+
 // fnv1a is the internal slot hash (the kernel uses jhash; any decent
 // mixer works here).
 func fnv1a(b []byte) uint64 {
@@ -365,6 +371,14 @@ type LRUHash struct {
 	prev, next []int32
 	head, tail int32 // head = most recent
 	slotOf     map[string]int32
+
+	// Evictions counts LRU victims removed to make room for inserts;
+	// InsertFails counts inserts the table still refused. Both were
+	// silent before the churn scenarios made them load-bearing: the
+	// conntrack NF exports them through telemetry and the overload
+	// guard's watermark probes read them.
+	Evictions   uint64
+	InsertFails uint64
 }
 
 // NewLRUHash creates an LRU hash map with the given capacity.
@@ -450,21 +464,45 @@ func (l *LRUHash) Update(key, value []byte) error {
 		// Evict least recently used.
 		victim := l.tail
 		if victim < 0 {
+			l.InsertFails++
 			return ErrNoSpace
 		}
 		vkey := string(l.h.keyAt(uint64(victim)))
 		l.unlink(victim)
 		delete(l.slotOf, vkey)
 		l.h.state[victim] = 2
+		clear(l.h.valAt(uint64(victim)))
 		l.h.count--
+		l.Evictions++
 	}
 	if err := l.h.Update(key, value); err != nil {
+		l.InsertFails++
 		return err
 	}
 	i, _ := l.h.find(key)
 	l.slotOf[string(key)] = int32(i)
 	l.pushFront(int32(i))
 	return nil
+}
+
+// EvictOldest removes up to n least-recently-used entries, returning
+// how many were evicted. The overload guard's aggressive-eviction
+// degrade policy batch-frees headroom with it so overloaded insert
+// paths stop paying one eviction per packet.
+func (l *LRUHash) EvictOldest(n int) int {
+	evicted := 0
+	for evicted < n && l.tail >= 0 {
+		victim := l.tail
+		vkey := string(l.h.keyAt(uint64(victim)))
+		l.unlink(victim)
+		delete(l.slotOf, vkey)
+		l.h.state[victim] = 2
+		clear(l.h.valAt(uint64(victim)))
+		l.h.count--
+		l.Evictions++
+		evicted++
+	}
+	return evicted
 }
 
 // Delete removes key.

@@ -284,6 +284,13 @@ func (vm *VM) RegisterMap(m maps.ArenaMap) int32 {
 	return fd
 }
 
+// Maps returns the attached maps in FD order (a copy; the FD table
+// itself stays private). The overload guard walks it to wire map-memory
+// watermark probes without knowing how an NF allocated its tables.
+func (vm *VM) Maps() []maps.ArenaMap {
+	return append([]maps.ArenaMap(nil), vm.mapsByFD...)
+}
+
 // Map returns the map registered under fd, or nil.
 func (vm *VM) Map(fd int32) maps.ArenaMap {
 	if fd < 0 || int(fd) >= len(vm.mapsByFD) {

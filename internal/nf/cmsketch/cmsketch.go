@@ -64,6 +64,13 @@ func (c Config) matrix() nhash.Matrix {
 	return nhash.Matrix{Rows: c.Rows, Mask: uint32(c.Width - 1)}
 }
 
+// DegradeHeadSample is the sketch's opt-in overload degradation: under
+// pressure the guard admits 1 in this many packets and passes the rest
+// unprocessed, trading estimate resolution for budget. A count-min
+// over a head-sampled stream keeps its one-sided-overestimate shape
+// relative to the admitted substream.
+func (s *Sketch) DegradeHeadSample() int { return 8 }
+
 // New builds the sketch NF in the requested flavour.
 func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 	if err := cfg.validate(); err != nil {

@@ -20,6 +20,7 @@ import (
 	"enetstl/internal/ebpf/verifier"
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/nf"
+	"enetstl/internal/telemetry"
 )
 
 // ValSize is the tracked-entry size: [pkts u64][flags u64].
@@ -48,7 +49,8 @@ type Tracker struct {
 	nf.Instance
 	cfg Config
 
-	m maps.ArenaMap // kernel flavour (LRU hash, possibly decorated)
+	m   maps.ArenaMap // kernel flavour (LRU hash, possibly decorated)
+	lru *maps.LRUHash // both flavours: the undecorated flow table
 }
 
 // New builds the NF in the requested flavour. The ENetSTL flavour is
@@ -60,12 +62,14 @@ func New(flavor nf.Flavor, cfg Config) (*Tracker, error) {
 	t := &Tracker{cfg: cfg}
 	switch flavor {
 	case nf.Kernel:
-		t.m = maps.Must(maps.NewLRUHash(nf.KeyLen, ValSize, cfg.Entries))
+		t.lru = maps.Must(maps.NewLRUHash(nf.KeyLen, ValSize, cfg.Entries))
+		t.m = t.lru
 		t.Instance = &nf.NativeInstance{NFName: "conntrack", Fn: t.track}
 		return t, nil
 	case nf.EBPF:
 		machine := vm.New()
 		lru := maps.Must(maps.NewLRUHash(nf.KeyLen, ValSize, cfg.Entries))
+		t.lru = lru
 		fd := machine.RegisterMap(lru)
 		ins, err := buildProgram(fd).Program()
 		if err != nil {
@@ -90,6 +94,36 @@ func (t *Tracker) Map() maps.ArenaMap { return t.m }
 // SetMap swaps the backing map, letting harnesses decorate it with a
 // fault-injecting wrapper.
 func (t *Tracker) SetMap(m maps.ArenaMap) { t.m = m }
+
+// LRU returns the undecorated flow table, in both flavours — the
+// surface the overload guard's watermark probes and degrade policy
+// reach for.
+func (t *Tracker) LRU() *maps.LRUHash { return t.lru }
+
+// Degrade is the tracker's opt-in degradation policy: on engage it
+// batch-evicts the oldest quarter of the table, restoring insert
+// headroom in one sweep so an overloaded update path stops paying one
+// eviction per packet (the kernel-LRU "local free list" idea, writ
+// coarse). Release is a no-op; the table refills naturally.
+func (t *Tracker) Degrade(on bool) {
+	if on {
+		t.lru.EvictOldest(t.cfg.Entries / 4)
+	}
+}
+
+// Publish exports the flow table's churn counters — silent before the
+// adversarial scenarios made them matter.
+func (t *Tracker) Publish(reg *telemetry.Registry, shard int) {
+	nfl := telemetry.L("nf", "conntrack")
+	fl := telemetry.L("flavor", t.Flavor().String())
+	sh := telemetry.L("shard", fmt.Sprint(shard))
+	reg.SetHelp("nf_conntrack_entries", "live entries in the flow table")
+	reg.SetHelp("nf_conntrack_evictions_total", "LRU victims evicted to admit new flows")
+	reg.SetHelp("nf_conntrack_insert_fails_total", "flow inserts the table refused")
+	reg.Gauge("nf_conntrack_entries", nfl, fl, sh).Set(float64(t.lru.Len()))
+	reg.Counter("nf_conntrack_evictions_total", nfl, fl, sh).Add(t.lru.Evictions)
+	reg.Counter("nf_conntrack_insert_fails_total", nfl, fl, sh).Add(t.lru.InsertFails)
+}
 
 // track mirrors the bytecode: bump a known flow in place, insert a new
 // one, shed the packet when the table refuses.

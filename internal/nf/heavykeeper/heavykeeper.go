@@ -90,6 +90,11 @@ func keyFP(key []byte) uint32 {
 	return fp
 }
 
+// DegradeHeadSample is the sketch's opt-in overload degradation (see
+// cmsketch): heavy hitters survive head-sampling by definition, so the
+// guard can thin aggressively.
+func (s *Sketch) DegradeHeadSample() int { return 8 }
+
 // New builds the NF in the requested flavour.
 func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 	if err := cfg.validate(); err != nil {

@@ -75,6 +75,11 @@ const (
 	geoSeed  = 0xabcdef
 )
 
+// DegradeHeadSample is the sketch's opt-in overload degradation (see
+// cmsketch): NitroSketch already samples per row, so the guard thins
+// the packet stream more gently than for the dense sketches.
+func (s *Sketch) DegradeHeadSample() int { return 4 }
+
 // New builds the NF in the requested flavour.
 func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 	if err := cfg.validate(); err != nil {

@@ -1,0 +1,227 @@
+// Attack-case construction: every registered NF in every supported
+// flavour under each adversarial scenario, with the grid's guard policy
+// and the per-NF estimator bound oracles restated over the ADMITTED
+// substream. Lives next to the chaos/diff wiring so "every NF under
+// attack" is defined once, here.
+
+package nfcatalog
+
+import (
+	"fmt"
+
+	"enetstl/internal/guard"
+	"enetstl/internal/harness"
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+// Sketch geometry mirrored from the constructors above, for the attack
+// bound oracles (same idiom as internal/difftest).
+const (
+	atkCMWidth  = 4096 // cmsketch/nitrosketch width
+	atkSSSlots  = 64   // spacesaving monitored slots
+	atkNSSample = 16   // nitrosketch sampling period (1/p) == increment
+)
+
+// AttackConfig shapes the adversarial case grid.
+type AttackConfig struct {
+	Packets   int   // per-case trace length (default 2000)
+	Flows     int   // benign flows (default 192)
+	Seed      int64 // base seed (default 1)
+	Scenarios []pktgen.ScenarioKind
+}
+
+func (c AttackConfig) norm() AttackConfig {
+	if c.Packets <= 0 {
+		c.Packets = 2000
+	}
+	if c.Flows <= 0 {
+		c.Flows = 192
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if len(c.Scenarios) == 0 {
+		c.Scenarios = pktgen.Scenarios()
+	}
+	return c
+}
+
+// attackGuardConfig is the grid's uniform guard policy: budgets
+// calibrate per instance (AutoBudget), so one config fits a skiplist
+// and a count-min sketch alike.
+func attackGuardConfig() guard.Config {
+	return guard.Config{
+		Enabled:        true,
+		WatchdogFactor: 16,
+	}
+}
+
+// addShedRateMark registers the guard's self-referential pressure
+// probe: the fraction of arriving packets the shedder rejected over the
+// last probe interval. Persistent shedding engages degradation (head
+// sampling, batch eviction) so the NF trades fidelity for serving more
+// of the stream instead of hard-dropping everything.
+func addShedRateMark(g *guard.Guard) {
+	var prevShed, prevSeen uint64
+	g.AddWatermark(guard.Watermark{
+		Name: "shed-rate", High: 0.5, Low: 0.1,
+		Frac: func() float64 {
+			shed, seen := g.Shed(), g.Shed()+g.Admitted()
+			ds, dn := shed-prevShed, seen-prevSeen
+			prevShed, prevSeen = shed, seen
+			if dn == 0 {
+				return 0
+			}
+			return float64(ds) / float64(dn)
+		},
+	})
+}
+
+// BuildGuarded constructs an NF instance fronted by an enabled overload
+// guard carrying the catalog's per-NF policy wiring (degradation
+// opt-ins, watermark probes, shed-rate mark) — the `nfrun -guard` entry
+// point, and the single place the grid's guard policy is defined.
+func BuildGuarded(name string, flavor nf.Flavor, trace *pktgen.Trace) (*guard.Guarded, *guard.Guard, error) {
+	b, err := buildFull(name, flavor, trace)
+	if err != nil {
+		return nil, nil, err
+	}
+	g := guard.New(name, 0, attackGuardConfig())
+	if b.gw != nil {
+		b.gw(g)
+	}
+	addShedRateMark(g)
+	return g.Wrap(b.inst), g, nil
+}
+
+// AttackCases builds the adversarial grid: every registered NF in every
+// supported flavour under each scenario, each cell with its own seeded
+// attack trace (so per-NF op mixes and per-scenario structure don't
+// interfere) and its estimator bound oracle.
+func AttackCases(cfg AttackConfig) ([]harness.AttackCase, error) {
+	cfg = cfg.norm()
+	var cases []harness.AttackCase
+	for _, name := range Names() {
+		for _, fl := range SupportedFlavors(name) {
+			for _, kind := range cfg.Scenarios {
+				tr := pktgen.GenerateAttack(pktgen.AttackConfig{
+					Base: pktgen.Config{Flows: cfg.Flows, Packets: cfg.Packets, ZipfS: 1.1, Seed: cfg.Seed},
+					Kind: kind,
+				})
+				PrepareTrace(name, tr)
+				name, fl := name, fl
+				cases = append(cases, harness.AttackCase{
+					Name:     fmt.Sprintf("%s/%v", name, fl),
+					Scenario: tr.Scenario,
+					Trace:    tr,
+					Build: func(guardOn bool) (harness.AttackArm, error) {
+						b, err := construct(name, fl, tr)
+						if err != nil {
+							return harness.AttackArm{}, err
+						}
+						arm := harness.AttackArm{Inst: b.inst, Est: b.est, Check: b.check}
+						if guardOn {
+							g := guard.New(name, 0, attackGuardConfig())
+							if b.gw != nil {
+								b.gw(g)
+							}
+							addShedRateMark(g)
+							arm.Inst = g.Wrap(b.inst)
+							arm.Guard = g
+						}
+						return arm, nil
+					},
+					Bound: attackBound(name, tr),
+				})
+			}
+		}
+	}
+	return cases, nil
+}
+
+// attackBound returns the estimator bound oracle for an NF name, stated
+// over per-flow ADMITTED counts: shed and head-sampled packets never
+// reached the structure, so the admitted substream is the ground truth
+// the sketch approximates — which is exactly why the guard-on bound is
+// never looser than guard-off (the bounds grow with admitted volume).
+// Nil for NFs whose verdicts carry the whole signal.
+func attackBound(name string, tr *pktgen.Trace) func(est func([]byte) uint32, admitted []uint32, total uint64) (float64, error) {
+	keys := tr.FlowKeys
+	switch name {
+	case "cmsketch":
+		return func(est func([]byte) uint32, admitted []uint32, total uint64) (float64, error) {
+			// Count-min never undercounts the admitted substream; the
+			// row-collision overcount is ~N/width per row, min over 8 rows.
+			// The +32 slack absorbs the attack traces' larger flow tables.
+			bound := float64(8*total/atkCMWidth + 32)
+			for f, key := range keys {
+				tc, got := admitted[f], est(key[:])
+				if got < tc {
+					return bound, fmt.Errorf("count-min undercount: flow %d est %d < admitted %d", f, got, tc)
+				}
+				if float64(got-tc) > bound {
+					return bound, fmt.Errorf("count-min overcount: flow %d est %d, admitted %d, bound +%.0f", f, got, tc, bound)
+				}
+			}
+			return bound, nil
+		}
+	case "nitrosketch":
+		return func(est func([]byte) uint32, admitted []uint32, total uint64) (float64, error) {
+			// Sampled updates keep the estimate unbiased over the admitted
+			// substream; ±(true/2 + 24·sample) is >6 sigma in this regime.
+			bound := float64(total/2 + 24*atkNSSample)
+			for f, key := range keys {
+				tc, got := admitted[f], est(key[:])
+				slack := tc/2 + 24*atkNSSample
+				if got > tc+slack || got+slack < tc {
+					return bound, fmt.Errorf("nitrosketch estimate %d outside admitted %d ± %d (flow %d)", got, tc, slack, f)
+				}
+			}
+			return bound, nil
+		}
+	case "heavykeeper":
+		return func(est func([]byte) uint32, admitted []uint32, total uint64) (float64, error) {
+			// Exponential decay never overcounts a flow's own fingerprint;
+			// +16 covers fingerprint coincidences at attack flow counts.
+			// Heavy flows (≥10% of admitted) must retain half their count.
+			bound := float64(16)
+			for f, key := range keys {
+				tc, got := admitted[f], est(key[:])
+				if got > tc+16 {
+					return bound, fmt.Errorf("heavykeeper overcount: flow %d est %d > admitted %d + 16", f, got, tc)
+				}
+				if tc >= uint32(total/10) && got < tc/2 {
+					return bound, fmt.Errorf("heavykeeper lost a heavy flow: flow %d est %d, admitted %d", f, got, tc)
+				}
+			}
+			return bound, nil
+		}
+	case "spacesaving":
+		return func(est func([]byte) uint32, admitted []uint32, total uint64) (float64, error) {
+			// A monitored key overshoots by at most the stream error
+			// N/slots (doubled for slack); unmonitored keys read 0.
+			bound := float64(2 * total / atkSSSlots)
+			for f, key := range keys {
+				tc, got := admitted[f], est(key[:])
+				if got != 0 && float64(got) > float64(tc)+bound {
+					return bound, fmt.Errorf("space-saving overcount: flow %d est %d, admitted %d, bound +%.0f", f, got, tc, bound)
+				}
+			}
+			return bound, nil
+		}
+	case "vbf":
+		return func(est func([]byte) uint32, admitted []uint32, total uint64) (float64, error) {
+			// Membership of the construction-time inserted set survives any
+			// attack replay: flow f was inserted into set f%32 and the
+			// datapath only queries.
+			for f, key := range keys {
+				if est(key[:])&(1<<uint(f%32)) == 0 {
+					return 0, fmt.Errorf("vbf false negative: flow %d missing from set %d", f, f%32)
+				}
+			}
+			return 0, nil
+		}
+	}
+	return nil
+}

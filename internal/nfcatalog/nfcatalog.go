@@ -13,6 +13,7 @@ import (
 	"enetstl/internal/apps"
 	"enetstl/internal/ebpf/maps"
 	"enetstl/internal/faultinject"
+	"enetstl/internal/guard"
 	"enetstl/internal/harness"
 	"enetstl/internal/nf"
 	"enetstl/internal/nf/bloom"
@@ -50,6 +51,10 @@ type built struct {
 	arm   func(p *faultinject.Plane)
 	check func() error
 	est   func(key []byte) uint32
+	// gw wires the NF's overload-guard opt-ins (degradation policy,
+	// watermark probes) into a guard fronting this instance; nil for NFs
+	// with no bespoke policy (generic budget shedding still applies).
+	gw func(g *guard.Guard)
 }
 
 // Build constructs an NF instance, populating lookup structures from
@@ -125,7 +130,8 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 		if err != nil {
 			return built{}, err
 		}
-		return built{inst: s.Instance, est: s.Estimate}, nil
+		return built{inst: s.Instance, est: s.Estimate,
+			gw: func(g *guard.Guard) { g.SetHeadSample(s.DegradeHeadSample()) }}, nil
 	case "nitrosketch":
 		s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4})
 		if err != nil {
@@ -135,7 +141,7 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 			if g := s.GeoPool(); g != nil {
 				g.FailRefill = p.Site(faultinject.SiteRefill).Fire
 			}
-		}}, nil
+		}, gw: func(g *guard.Guard) { g.SetHeadSample(s.DegradeHeadSample()) }}, nil
 	case "cuckoofilter":
 		f, err := cuckoofilter.New(flavor, cuckoofilter.Config{Buckets: 1024})
 		if err != nil {
@@ -190,7 +196,7 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 			if pl := h.Pool(); pl != nil {
 				pl.FailRefill = p.Site(faultinject.SiteRefill).Fire
 			}
-		}}, nil
+		}, gw: func(g *guard.Guard) { g.SetHeadSample(h.DegradeHeadSample()) }}, nil
 	case "bloom":
 		f, err := bloom.New(flavor, bloom.Config{Bits: 1 << 16, Hashes: 4})
 		if err != nil {
@@ -223,6 +229,27 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 					MissLookup: p.Site(faultinject.SiteMapLookup).Fire,
 				})
 			}
+		}, gw: func(g *guard.Guard) {
+			g.OnDegrade(t.Degrade)
+			// The flow table runs full under benign load, so occupancy is
+			// meaningless for an LRU; the overload signal is the eviction
+			// RATE — victims per admitted packet over the probe interval.
+			// Flow churn drives it toward 1.0 (every new flow evicts);
+			// benign zipf traffic keeps it low (hot flows hit in place).
+			var prev uint64
+			interval := float64(g.ProbeInterval())
+			g.AddWatermark(guard.Watermark{
+				Name: "conntrack-eviction-rate", High: 0.6, Low: 0.4,
+				Frac: func() float64 {
+					cur := t.LRU().Evictions
+					d := float64(cur-prev) / interval
+					prev = cur
+					if d > 1 {
+						d = 1
+					}
+					return d
+				},
+			})
 		}}, nil
 	case "daryhash":
 		d, err := daryhash.New(flavor, daryhash.Config{Slots: 4096, D: 4})

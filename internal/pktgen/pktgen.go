@@ -31,13 +31,71 @@ type Config struct {
 	Seed int64
 }
 
-// Trace is a generated packet sequence plus its flow table.
+// Trace is a generated packet sequence plus its flow table. Attack
+// scenarios (GenerateAttack) additionally carry ground-truth metadata:
+// per-packet labels and arrival ticks, plus the window list. Benign
+// traces leave those fields nil; consumers treat nil Arrival as one
+// tick per packet.
 type Trace struct {
 	Packets []Packet
 	// FlowKeys holds the KeyLen-byte key of each flow.
 	FlowKeys [][nf.KeyLen]byte
 	// FlowOf maps each packet index to its flow index.
 	FlowOf []int32
+
+	// Labels marks each packet 0 = benign, 1 = attack (ground truth for
+	// scenario traces; nil for benign traces). Parallel to Packets.
+	Labels []uint8
+	// Arrival is each packet's virtual arrival tick: a monotone
+	// non-decreasing clock where one tick is one benign inter-arrival
+	// gap. Attack bursts put several packets on the same tick, which is
+	// how the overload guard's token bucket sees a rate spike without
+	// any wall-clock dependence. Nil means packet i arrives at tick i.
+	Arrival []uint64
+	// Windows lists the attack windows in arrival-tick terms. Ticks
+	// travel with packets through Shard, so window membership is
+	// shard-count-invariant (packet-index ranges would not be).
+	Windows []Window
+	// Scenario names the generator that produced the trace ("" benign).
+	Scenario string
+}
+
+// Window is one attack window: the arrival-tick range [Start, End).
+type Window struct {
+	Start, End uint64
+}
+
+// Contains reports whether tick falls inside the window.
+func (w Window) Contains(tick uint64) bool { return tick >= w.Start && tick < w.End }
+
+// ArrivalOf returns packet i's arrival tick (i itself for benign
+// traces, which carry no explicit arrival clock).
+func (t *Trace) ArrivalOf(i int) uint64 {
+	if t.Arrival == nil {
+		return uint64(i)
+	}
+	return t.Arrival[i]
+}
+
+// InWindow reports whether tick falls inside any attack window.
+func (t *Trace) InWindow(tick uint64) bool {
+	for _, w := range t.Windows {
+		if w.Contains(tick) {
+			return true
+		}
+	}
+	return false
+}
+
+// AttackPackets counts labeled attack packets.
+func (t *Trace) AttackPackets() int {
+	n := 0
+	for _, l := range t.Labels {
+		if l != 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // flowKey synthesizes a deterministic 5-tuple for flow i: distinct
@@ -118,12 +176,22 @@ func (t *Trace) Shard(n int) []*Trace {
 	}
 	shards := make([]*Trace, n)
 	for s := range shards {
-		shards[s] = &Trace{FlowKeys: append([][nf.KeyLen]byte(nil), t.FlowKeys...)}
+		shards[s] = &Trace{
+			FlowKeys: append([][nf.KeyLen]byte(nil), t.FlowKeys...),
+			Windows:  append([]Window(nil), t.Windows...),
+			Scenario: t.Scenario,
+		}
 	}
 	for i := range t.Packets {
 		s := shards[ShardOf(t.Packets[i].Key(), n)]
 		s.Packets = append(s.Packets, t.Packets[i])
 		s.FlowOf = append(s.FlowOf, t.FlowOf[i])
+		if t.Labels != nil {
+			s.Labels = append(s.Labels, t.Labels[i])
+		}
+		if t.Arrival != nil {
+			s.Arrival = append(s.Arrival, t.Arrival[i])
+		}
 	}
 	return shards
 }
@@ -136,10 +204,20 @@ func (t *Trace) Clone() *Trace {
 		Packets:  make([]Packet, len(t.Packets)),
 		FlowKeys: make([][nf.KeyLen]byte, len(t.FlowKeys)),
 		FlowOf:   make([]int32, len(t.FlowOf)),
+		Scenario: t.Scenario,
 	}
 	copy(c.Packets, t.Packets)
 	copy(c.FlowKeys, t.FlowKeys)
 	copy(c.FlowOf, t.FlowOf)
+	if t.Labels != nil {
+		c.Labels = append([]uint8(nil), t.Labels...)
+	}
+	if t.Arrival != nil {
+		c.Arrival = append([]uint64(nil), t.Arrival...)
+	}
+	if t.Windows != nil {
+		c.Windows = append([]Window(nil), t.Windows...)
+	}
 	return c
 }
 

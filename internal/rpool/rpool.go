@@ -87,6 +87,12 @@ func (p *Pool) Next() uint32 {
 	return v
 }
 
+// Remaining reports the fraction of the current batch still unconsumed,
+// in [0, 1] — the overload guard's rpool watermark probe.
+func (p *Pool) Remaining() float64 {
+	return float64(len(p.buf)-p.pos) / float64(len(p.buf))
+}
+
 // Fill copies n pooled numbers into out (the batched interface used by
 // programs wanting one call per packet instead of one per row).
 func (p *Pool) Fill(out []uint32) {
@@ -171,4 +177,10 @@ func (g *GeoPool) Next() uint32 {
 	v := g.buf[g.pos]
 	g.pos++
 	return v
+}
+
+// Remaining reports the fraction of the current batch still unconsumed,
+// in [0, 1] — the overload guard's rpool watermark probe.
+func (g *GeoPool) Remaining() float64 {
+	return float64(len(g.buf)-g.pos) / float64(len(g.buf))
 }

@@ -42,6 +42,9 @@ const (
 	KindHelper                   // a helper call completed
 	KindKfunc                    // a kfunc call completed
 	KindFault                    // the fault plane injected a failure
+	KindShed                     // the overload guard entered/left shedding (Val 1/0)
+	KindDegrade                  // a degradation policy engaged/released (Val 1/0)
+	KindWatchdog                 // the per-packet cost watchdog tripped (Val = cost)
 )
 
 var kindNames = [...]string{
@@ -51,6 +54,9 @@ var kindNames = [...]string{
 	KindHelper:   "helper",
 	KindKfunc:    "kfunc",
 	KindFault:    "fault",
+	KindShed:     "shed",
+	KindDegrade:  "degrade",
+	KindWatchdog: "watchdog",
 }
 
 func (k Kind) String() string {
