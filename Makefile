@@ -10,11 +10,11 @@ GO ?= go
 # e.g. `make fuzz-smoke FUZZTIME=2m`.
 FUZZTIME ?= 10s
 
-.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke chaos-smoke attack-smoke obs-smoke
+.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke bench-maps bench-maps-smoke chaos-smoke attack-smoke obs-smoke
 
 all: check
 
-check: fmt vet build test race difftest fuzz-smoke chaos-smoke attack-smoke obs-smoke bench-vm-smoke
+check: fmt vet build test race difftest fuzz-smoke chaos-smoke attack-smoke obs-smoke bench-vm-smoke bench-maps-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -47,6 +47,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzHashModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
 	$(GO) test -run '^$$' -fuzz '^FuzzLRUHashModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
 	$(GO) test -run '^$$' -fuzz '^FuzzArrayModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
+	$(GO) test -run '^$$' -fuzz '^FuzzBucketHashModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
+	$(GO) test -run '^$$' -fuzz '^FuzzPerCPUHashModel$$' -fuzztime $(FUZZTIME) ./internal/ebpf/maps/
 	$(GO) test -run '^$$' -fuzz '^FuzzFastHash$$' -fuzztime $(FUZZTIME) ./internal/nhash/
 	$(GO) test -run '^$$' -fuzz '^FuzzFusedOps$$' -fuzztime $(FUZZTIME) ./internal/nhash/
 	$(GO) test -run '^$$' -fuzz '^FuzzBitops$$' -fuzztime $(FUZZTIME) ./internal/bitops/
@@ -94,3 +96,15 @@ bench-vm:
 # no ratio enforcement (short samples are too noisy to gate on).
 bench-vm-smoke:
 	$(GO) run ./cmd/vmbench -quick
+
+# Flat-vs-bucketed map core comparison: the interleaved mapbench
+# harness refreshes the committed BENCH_maps.json artifact and enforces
+# the >=1.3x micro geomean the bucketed core promises. Absolute numbers
+# are host-dependent; only the ratios within one invocation matter.
+bench-maps:
+	$(GO) run ./cmd/mapbench -out BENCH_maps.json -min-geomean 1.3
+
+# Smoke variant for `make check`: short samples, no artifact rewrite,
+# no ratio enforcement.
+bench-maps-smoke:
+	$(GO) run ./cmd/mapbench -quick

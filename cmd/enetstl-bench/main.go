@@ -13,6 +13,7 @@ import (
 	"os"
 	"time"
 
+	"enetstl/internal/ebpf/maps"
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/experiments"
 	"enetstl/internal/harness"
@@ -33,8 +34,20 @@ func main() {
 		faults  = flag.Bool("faults", false, "run the chaos fault-injection suite over the full NF catalog instead of the paper experiments")
 		attack  = flag.Bool("attack", false, "run the adversarial scenario grid (guard off vs on) over the full NF catalog instead of the paper experiments")
 		serve   = flag.String("serve", "", "serve the observability plane (/metrics /profile /debug/pprof) on this address while the experiments run; implies live VM stats")
+		mapImpl = flag.String("map-impl", "bucket", "hash map core behind every NF: bucket (wide-compare, default) | flat (open-addressed reference)")
 	)
 	flag.Parse()
+
+	// The Impl selector is read when maps are constructed, so flip it
+	// before any experiment builds an NF.
+	switch *mapImpl {
+	case "bucket":
+	case "flat":
+		maps.SetImpl(maps.ImplFlat)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -map-impl %q (bucket|flat)\n", *mapImpl)
+		os.Exit(2)
+	}
 
 	if *serve != "" {
 		// Live VM counters feed the /metrics and /profile scrapes while

@@ -1,0 +1,95 @@
+// Hash-core implementation differential: every NF×flavour replayed
+// over the flat reference core and the bucketed production core on
+// bit-identical traces. Unlike the flavour axis, there is no estimate
+// oracle and no metamorphic fallback here — the two cores implement the
+// same map contract, every RNG stream within one flavour is identical,
+// and the LRU layer's eviction order is core-agnostic, so the oracle is
+// exactness across the board: verdict-for-verdict, error parity, and
+// estimator-state equality for every flow key.
+
+package difftest
+
+import (
+	"fmt"
+
+	"enetstl/internal/harness"
+	"enetstl/internal/nfcatalog"
+)
+
+// RunImplEquivalence builds every registered NF×flavour under both hash
+// cores and differentially replays them.
+func RunImplEquivalence(cfg Config) (*Report, error) {
+	cases, err := nfcatalog.ImplDiffCases(nfcatalog.DiffConfig{
+		Packets: cfg.Packets, Flows: cfg.Flows, Seed: cfg.Seed, ZipfS: cfg.ZipfS})
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{}
+	for _, c := range cases {
+		runImplCase(rep, c)
+	}
+	return rep, nil
+}
+
+// runImplCase replays one NF×flavour's per-core builds and demands
+// exact agreement.
+func runImplCase(rep *Report, c nfcatalog.ImplDiffCase) {
+	rep.Cases++
+	rep.Instances += len(c.Insts)
+	caseName := func(i int) string {
+		return fmt.Sprintf("%s@%v", c.Name, c.Impls[i])
+	}
+
+	for i := 1; i < len(c.Traces); i++ {
+		if !tracesEqual(c.Traces[0], c.Traces[i]) {
+			rep.diverge(Divergence{Case: caseName(i), Kind: "trace", Packet: -1,
+				Detail: "per-core trace clones diverged before replay"})
+			return
+		}
+	}
+
+	verdicts := make([][]uint64, len(c.Insts))
+	errs := make([]error, len(c.Insts))
+	for i, inst := range c.Insts {
+		verdicts[i], errs[i] = harness.Verdicts(inst, c.Traces[i])
+		rep.Packets += len(verdicts[i])
+	}
+
+	for i := 1; i < len(c.Insts); i++ {
+		if (errs[0] == nil) != (errs[i] == nil) {
+			rep.diverge(Divergence{Case: caseName(i), Kind: "error", Packet: len(verdicts[i]),
+				Detail: fmt.Sprintf("error parity: %v=%v, %v=%v",
+					c.Impls[0], errs[0], c.Impls[i], errs[i])})
+		}
+	}
+
+	for i := 1; i < len(c.Insts); i++ {
+		n := min(len(verdicts[0]), len(verdicts[i]))
+		for p := 0; p < n; p++ {
+			if verdicts[0][p] != verdicts[i][p] {
+				rep.diverge(Divergence{Case: caseName(i), Kind: "verdict", Packet: p,
+					Detail: fmt.Sprintf("%v=%d %v=%d", c.Impls[0], verdicts[0][p],
+						c.Impls[i], verdicts[i][p])})
+				break
+			}
+		}
+	}
+
+	// Estimator-state exactness for every flow key — strict even for
+	// the sampling sketches (same flavour, same RNG draws, so the cores
+	// must land on identical sketch state).
+	if c.Estimates[0] != nil {
+		for f, key := range c.Traces[0].FlowKeys {
+			base := c.Estimates[0](key[:])
+			for i := 1; i < len(c.Insts); i++ {
+				rep.Probes++
+				if got := c.Estimates[i](key[:]); got != base {
+					rep.diverge(Divergence{Case: caseName(i), Kind: "estimate", Packet: -1,
+						Detail: fmt.Sprintf("flow %d: %v=%d %v=%d", f,
+							c.Impls[0], base, c.Impls[i], got)})
+					return
+				}
+			}
+		}
+	}
+}

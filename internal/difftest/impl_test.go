@@ -1,0 +1,52 @@
+package difftest
+
+import (
+	"testing"
+
+	"enetstl/internal/nfcatalog"
+)
+
+// TestImplEquivalence is the old-vs-new map-core conformance gate:
+// every registered NF×flavour built over the flat reference core and
+// the bucketed core, replayed on bit-identical traces, exact agreement
+// demanded throughout (see impl.go for why exactness is the right
+// oracle even for the sampling sketches).
+func TestImplEquivalence(t *testing.T) {
+	rep, err := RunImplEquivalence(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failed() {
+		t.Fatalf("impl divergences:\n%s", rep)
+	}
+	want := 0
+	for _, name := range nfcatalog.Names() {
+		want += len(nfcatalog.SupportedFlavors(name))
+	}
+	if rep.Cases != want {
+		t.Fatalf("covered %d NF×flavour cases, want %d", rep.Cases, want)
+	}
+	if rep.Instances != 2*want {
+		t.Fatalf("replayed %d instances, want %d (each case under both cores)", rep.Instances, 2*want)
+	}
+	if rep.Probes == 0 {
+		t.Fatal("no estimator probes ran — estimator exactness wiring is dead")
+	}
+}
+
+// TestImplEquivalenceSeeds re-runs the core differential under an
+// alternate seed and skew so agreement is not an artifact of one
+// stream's collision pattern.
+func TestImplEquivalenceSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed replay is slow")
+	}
+	rep, err := RunImplEquivalence(Config{Seed: 7, ZipfS: 1.3, Packets: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("seed 7: impl divergences:\n%s", rep)
+	}
+}

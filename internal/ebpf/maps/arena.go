@@ -46,13 +46,13 @@ func (p *PerCPUArray) LookupArena(key []byte) (int, int, bool) {
 	return p.cpu, off, ok
 }
 
-// Hash arena support: all values live in the vals arena.
+// FlatHash arena support: all values live in the vals arena.
 
-func (h *Hash) ArenaCount() int    { return 1 }
-func (h *Hash) Arena(i int) []byte { return h.vals }
+func (h *FlatHash) ArenaCount() int    { return 1 }
+func (h *FlatHash) Arena(i int) []byte { return h.vals }
 
 // LookupArena resolves key to its slot's value offset.
-func (h *Hash) LookupArena(key []byte) (int, int, bool) {
+func (h *FlatHash) LookupArena(key []byte) (int, int, bool) {
 	if len(key) != h.keySize {
 		return 0, 0, false
 	}
@@ -63,14 +63,16 @@ func (h *Hash) LookupArena(key []byte) (int, int, bool) {
 	return 0, int(i) * h.valueSize, true
 }
 
-// LRUHash arena support.
+// LRUHash arena support: both cores store all values in one contiguous
+// arena at slot*ValueSize offsets, so the LRU layer forwards to the
+// core and derives offsets from the slot index it already tracks.
 
-func (l *LRUHash) ArenaCount() int    { return 1 }
-func (l *LRUHash) Arena(i int) []byte { return l.h.vals }
+func (l *LRUHash) ArenaCount() int    { return l.core.ArenaCount() }
+func (l *LRUHash) Arena(i int) []byte { return l.core.Arena(i) }
 
 // LookupArena resolves key and refreshes its recency.
 func (l *LRUHash) LookupArena(key []byte) (int, int, bool) {
-	if len(key) != l.h.keySize {
+	if len(key) != l.core.KeySize() {
 		return 0, 0, false
 	}
 	i, ok := l.slotOf[string(key)]
@@ -79,5 +81,5 @@ func (l *LRUHash) LookupArena(key []byte) (int, int, bool) {
 	}
 	l.unlink(i)
 	l.pushFront(i)
-	return 0, int(i) * l.h.valueSize, true
+	return 0, int(i) * l.core.ValueSize(), true
 }

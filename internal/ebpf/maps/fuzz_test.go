@@ -110,12 +110,10 @@ func (mm *modelMap) delete(key []byte) error {
 	return nil
 }
 
-// lenOf reads the entry count off either hash flavour.
+// lenOf reads the entry count off any map that exposes one (both hash
+// cores, the LRU layer, and the per-CPU variants all do).
 func lenOf(m maps.Map) int {
-	switch h := m.(type) {
-	case *maps.Hash:
-		return h.Len()
-	case *maps.LRUHash:
+	if h, ok := m.(interface{ Len() int }); ok {
 		return h.Len()
 	}
 	return -1
@@ -172,13 +170,13 @@ func driveModel(t *testing.T, m maps.Map, model *modelMap, data []byte) {
 	}
 }
 
-// FuzzHashModel cross-checks the open-addressed Hash against the model:
-// update/overwrite, ErrNoSpace at capacity, tombstone reuse after
-// deletes, and exact entry counts.
-func FuzzHashModel(f *testing.F) {
+// hashSeeds adds the shared op-stream seeds both hash-core fuzz targets
+// start from: overwrite churn, fill past capacity, deletes into
+// reinsertions (tombstone reuse on the flat core, slot reuse on the
+// bucketed one).
+func hashSeeds(f *testing.F) {
 	f.Add([]byte{0, 1, 1})
 	f.Add([]byte{0, 1, 1, 1, 1, 0, 2, 1, 0})
-	// Fill past capacity, then churn deletes into reinsertions.
 	var seed []byte
 	for k := byte(0); k < 12; k++ {
 		seed = append(seed, 0, k, k+1)
@@ -187,8 +185,29 @@ func FuzzHashModel(f *testing.F) {
 		seed = append(seed, 2, k, 0, 0, k+8, k)
 	}
 	f.Add(seed)
+}
+
+// FuzzHashModel cross-checks the flat open-addressed core against the
+// model: update/overwrite, ErrNoSpace at capacity, tombstone reuse
+// after deletes, and exact entry counts. Pinned to ImplFlat so the
+// conformance reference stays independently fuzzed.
+func FuzzHashModel(f *testing.F) {
+	hashSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
-		h := maps.Must(maps.NewHash(fuzzKeySize, fuzzValueSize, fuzzMaxEntries))
+		h := maps.Must(maps.NewHashImpl(maps.ImplFlat, fuzzKeySize, fuzzValueSize, fuzzMaxEntries))
+		driveModel(t, h, newModel(false), data)
+	})
+}
+
+// FuzzBucketHashModel cross-checks the bucketed wide-compare core
+// against the same model and seeds. The tiny table (2 L1 buckets over a
+// 16-key space) keeps every op stream near bucket-overflow territory,
+// so the L2/L3/stash spill paths and the sticky overflow markers are in
+// constant play.
+func FuzzBucketHashModel(f *testing.F) {
+	hashSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := maps.Must(maps.NewHashImpl(maps.ImplBucket, fuzzKeySize, fuzzValueSize, fuzzMaxEntries))
 		driveModel(t, h, newModel(false), data)
 	})
 }
@@ -267,6 +286,89 @@ func FuzzArrayModel(f *testing.F) {
 		}
 		if !bytes.Equal(a.Data(), model) {
 			t.Fatalf("final array state diverged from model")
+		}
+	})
+}
+
+// FuzzPerCPUHashModel cross-checks the per-CPU hash against one Go map
+// per CPU: ops decode as 4-byte groups (op, cpu, key, value seed) and
+// route through the SetCPU selector, so isolation between copies is
+// itself under test — a write leaking across CPUs diverges the models
+// immediately. A fourth op exercises the merge-on-read path, checking
+// MergeLookup with the canonical u32-lane merge against the lane-wise
+// sum over the models.
+func FuzzPerCPUHashModel(f *testing.F) {
+	const fuzzCPUs = 4
+	f.Add([]byte{0, 0, 1, 1, 0, 1, 1, 2, 3, 0, 1, 0})
+	// Same key on every CPU, then merge; then delete one copy and merge
+	// again (partial presence must still report found).
+	var seed []byte
+	for c := byte(0); c < fuzzCPUs; c++ {
+		seed = append(seed, 0, c, 5, c+1)
+	}
+	seed = append(seed, 3, 0, 5, 0, 2, 1, 5, 0, 3, 0, 5, 0)
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := maps.Must(maps.NewPerCPUHash(fuzzKeySize, fuzzValueSize, fuzzMaxEntries, fuzzCPUs))
+		models := make([]*modelMap, fuzzCPUs)
+		for i := range models {
+			models[i] = newModel(false)
+		}
+		for i := 0; i+4 <= len(data); i += 4 {
+			op, key, value := fuzzOp([]byte{data[i], data[i+2], data[i+3]})
+			cpu := int(data[i+1]) % fuzzCPUs
+			if int(data[i])%4 == 3 {
+				op = 3
+			}
+			p.SetCPU(cpu)
+			model := models[cpu]
+			switch op {
+			case 0:
+				gotErr := p.Update(key, value)
+				wantErr := model.update(key, value)
+				if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, wantErr)) {
+					t.Fatalf("op %d: cpu %d Update(%x) = %v, model says %v", i/4, cpu, key, gotErr, wantErr)
+				}
+			case 1:
+				got := p.Lookup(key)
+				want := model.lookup(key)
+				if (got == nil) != (want == nil) {
+					t.Fatalf("op %d: cpu %d Lookup(%x) presence = %v, model says %v", i/4, cpu, key, got != nil, want != nil)
+				}
+				if got != nil && !bytes.Equal(got, want) {
+					t.Fatalf("op %d: cpu %d Lookup(%x) = %x, model says %x", i/4, cpu, key, got, want)
+				}
+			case 2:
+				gotErr := p.Delete(key)
+				wantErr := model.delete(key)
+				if (gotErr == nil) != (wantErr == nil) {
+					t.Fatalf("op %d: cpu %d Delete(%x) = %v, model says %v", i/4, cpu, key, gotErr, wantErr)
+				}
+			case 3:
+				out := make([]byte, fuzzValueSize)
+				found := p.MergeLookup(key, out, maps.AddU32Lanes)
+				want := make([]byte, fuzzValueSize)
+				wantFound := false
+				for _, mm := range models {
+					if v, ok := mm.m[string(key)]; ok {
+						maps.AddU32Lanes(want, v)
+						wantFound = true
+					}
+				}
+				if found != wantFound {
+					t.Fatalf("op %d: MergeLookup(%x) found = %v, model says %v", i/4, key, found, wantFound)
+				}
+				if !bytes.Equal(out, want) {
+					t.Fatalf("op %d: MergeLookup(%x) = %x, model sum %x", i/4, key, out, want)
+				}
+			}
+			total := 0
+			for _, mm := range models {
+				total += len(mm.m)
+			}
+			if n := p.Len(); n != total {
+				t.Fatalf("op %d: Len() = %d, models hold %d", i/4, n, total)
+			}
 		}
 	})
 }

@@ -1,0 +1,85 @@
+package maps
+
+import "sync/atomic"
+
+// Impl selects which hash core backs the maps NewHash/NewLRUHash
+// construct, mirroring vm.SetWireInterp: the bucketed wide-compare
+// core is the production default, the flat open-addressed table stays
+// available as the conformance reference the differential suites
+// replay against.
+type Impl int32
+
+const (
+	// ImplBucket is the cache-line-bucketed multi-level core with
+	// SWAR wide compares over 1-byte fingerprints (BucketHash).
+	ImplBucket Impl = iota
+	// ImplFlat is the original open-addressed flat table (FlatHash),
+	// kept bit-for-bit as the reference implementation.
+	ImplFlat
+)
+
+func (i Impl) String() string {
+	switch i {
+	case ImplBucket:
+		return "bucket"
+	case ImplFlat:
+		return "flat"
+	}
+	return "impl(?)"
+}
+
+// currentImpl is read on every NewHash/NewLRUHash; atomic so the
+// differential suites can flip it under -race without a data race.
+// Construction-time only: a built map never consults it again.
+var currentImpl atomic.Int32
+
+// SetImpl selects the hash core used by subsequent NewHash/NewLRUHash
+// calls. Existing maps are unaffected.
+func SetImpl(i Impl) { currentImpl.Store(int32(i)) }
+
+// CurrentImpl returns the core used by subsequent constructors.
+func CurrentImpl() Impl { return Impl(currentImpl.Load()) }
+
+// HashMap is the interface both hash cores satisfy; NewHash returns
+// whichever core SetImpl selected.
+type HashMap interface {
+	ArenaMap
+	Len() int
+}
+
+// lruCore is what the LRU recency layer needs from a hash core beyond
+// HashMap: stable slot addressing, slot-level removal, and insertion
+// that reports the slot it used. Slot indices stay valid for the life
+// of an entry (neither core ever moves a stored entry).
+type lruCore interface {
+	HashMap
+	slotCap() int                                // total addressable slots
+	findSlot(key []byte) (int32, bool)           // slot holding key
+	insertSlot(key, value []byte) (int32, error) // insert absent key (no maxEntries check)
+	removeSlot(i int32)                          // drop the entry at slot i, zeroing its value
+	keyAtSlot(i int32) []byte
+	valAtSlot(i int32) []byte
+}
+
+// newCore builds the selected hash core.
+func newCore(impl Impl, keySize, valueSize, maxEntries int) (lruCore, error) {
+	if impl == ImplFlat {
+		return NewFlatHash(keySize, valueSize, maxEntries)
+	}
+	return NewBucketHash(keySize, valueSize, maxEntries)
+}
+
+// NewHash creates a hash map backed by the core CurrentImpl selects.
+func NewHash(keySize, valueSize, maxEntries int) (HashMap, error) {
+	return NewHashImpl(CurrentImpl(), keySize, valueSize, maxEntries)
+}
+
+// NewHashImpl creates a hash map backed by an explicit core, for the
+// suites that compare the two side by side in one process.
+func NewHashImpl(impl Impl, keySize, valueSize, maxEntries int) (HashMap, error) {
+	c, err := newCore(impl, keySize, valueSize, maxEntries)
+	if err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,7 +1,12 @@
 // Package maps implements the BPF map types used by the simulated eBPF
-// runtime: array, per-CPU array, hash, and LRU hash. Map values are
-// exposed as byte slices aliasing internal storage so the VM can hand
-// out pointers into them, exactly as bpf_map_lookup_elem does.
+// runtime: array, per-CPU array, hash, LRU hash, and their per-CPU
+// variants. Map values are exposed as byte slices aliasing internal
+// storage so the VM can hand out pointers into them, exactly as
+// bpf_map_lookup_elem does.
+//
+// Two hash cores exist behind one constructor: the cache-line-bucketed
+// wide-compare BucketHash (default) and the original open-addressed
+// FlatHash kept as the conformance reference — see SetImpl.
 package maps
 
 import (
@@ -19,6 +24,8 @@ const (
 	TypePerCPUArray
 	TypeHash
 	TypeLRUHash
+	TypePerCPUHash
+	TypePerCPULRUHash
 )
 
 func (t Type) String() string {
@@ -31,6 +38,10 @@ func (t Type) String() string {
 		return "hash"
 	case TypeLRUHash:
 		return "lru_hash"
+	case TypePerCPUHash:
+		return "percpu_hash"
+	case TypePerCPULRUHash:
+		return "percpu_lru_hash"
 	}
 	return fmt.Sprintf("maptype(%d)", int(t))
 }
@@ -194,12 +205,15 @@ func (p *PerCPUArray) Lookup(key []byte) []byte   { return p.per[p.cpu].Lookup(k
 func (p *PerCPUArray) Update(key, v []byte) error { return p.per[p.cpu].Update(key, v) }
 func (p *PerCPUArray) Delete(key []byte) error    { return p.per[p.cpu].Delete(key) }
 
-// --- Hash ---
+// --- FlatHash ---
 
-// Hash is a hash map with fixed key and value sizes, bounded capacity,
-// and open addressing over a power-of-two bucket array. Values live in a
-// contiguous arena so lookups can return stable aliasing slices.
-type Hash struct {
+// FlatHash is the original hash core: fixed key and value sizes,
+// bounded capacity, and open addressing over a power-of-two slot
+// array. Values live in a contiguous arena so lookups can return
+// stable aliasing slices. It is kept unchanged as the conformance
+// reference the bucketed core is differentially replayed against
+// (SetImpl selects which core NewHash builds).
+type FlatHash struct {
 	keySize, valueSize int
 	maxEntries         int
 
@@ -211,9 +225,9 @@ type Hash struct {
 	count int
 }
 
-// NewHash creates a hash map. Capacity is rounded up so the table stays
-// below ~85% occupancy at maxEntries.
-func NewHash(keySize, valueSize, maxEntries int) (*Hash, error) {
+// NewFlatHash creates a flat hash map. Capacity is rounded up so the
+// table stays below ~85% occupancy at maxEntries.
+func NewFlatHash(keySize, valueSize, maxEntries int) (*FlatHash, error) {
 	if keySize <= 0 || valueSize <= 0 || maxEntries <= 0 {
 		return nil, fmt.Errorf("%w: hash %dB keys, %dB values, %d entries",
 			ErrConfig, keySize, valueSize, maxEntries)
@@ -225,7 +239,7 @@ func NewHash(keySize, valueSize, maxEntries int) (*Hash, error) {
 	if int64(slots)*int64(keySize) > maxMapBytes || int64(slots)*int64(valueSize) > maxMapBytes {
 		return nil, fmt.Errorf("%w: hash of %d entries exceeds memlock bound", ErrConfig, maxEntries)
 	}
-	return &Hash{
+	return &FlatHash{
 		keySize: keySize, valueSize: valueSize, maxEntries: maxEntries,
 		state: make([]uint8, slots),
 		keys:  make([]byte, slots*keySize),
@@ -234,22 +248,16 @@ func NewHash(keySize, valueSize, maxEntries int) (*Hash, error) {
 	}, nil
 }
 
-func (h *Hash) Type() Type      { return TypeHash }
-func (h *Hash) KeySize() int    { return h.keySize }
-func (h *Hash) ValueSize() int  { return h.valueSize }
-func (h *Hash) MaxEntries() int { return h.maxEntries }
+func (h *FlatHash) Type() Type      { return TypeHash }
+func (h *FlatHash) KeySize() int    { return h.keySize }
+func (h *FlatHash) ValueSize() int  { return h.valueSize }
+func (h *FlatHash) MaxEntries() int { return h.maxEntries }
 
 // Len returns the number of stored entries.
-func (h *Hash) Len() int { return h.count }
+func (h *FlatHash) Len() int { return h.count }
 
-// SlotHash exposes the slot-index hash so adversarial traffic
-// generators can derive keys that collide against the real bucket
-// layout: keys equal mod a power-of-two B collide in every table of at
-// most B slots (slot counts are powers of two).
-func SlotHash(key []byte) uint64 { return fnv1a(key) }
-
-// fnv1a is the internal slot hash (the kernel uses jhash; any decent
-// mixer works here).
+// fnv1a is the flat core's slot hash (the kernel uses jhash; any decent
+// mixer works here). The bucketed core uses the wide SlotHash instead.
 func fnv1a(b []byte) uint64 {
 	const (
 		offset = 14695981039346656037
@@ -263,12 +271,12 @@ func fnv1a(b []byte) uint64 {
 	return x
 }
 
-func (h *Hash) keyAt(i uint64) []byte {
+func (h *FlatHash) keyAt(i uint64) []byte {
 	off := int(i) * h.keySize
 	return h.keys[off : off+h.keySize]
 }
 
-func (h *Hash) valAt(i uint64) []byte {
+func (h *FlatHash) valAt(i uint64) []byte {
 	off := int(i) * h.valueSize
 	return h.vals[off : off+h.valueSize : off+h.valueSize]
 }
@@ -288,7 +296,7 @@ func bytesEqual(a, b []byte) bool {
 // find returns (slot, found). When not found, slot is the first
 // insertable position (empty or tombstone) on the probe path, or ^0 if
 // the table is somehow full.
-func (h *Hash) find(key []byte) (uint64, bool) {
+func (h *FlatHash) find(key []byte) (uint64, bool) {
 	i := fnv1a(key) & h.mask
 	insert := ^uint64(0)
 	for probes := uint64(0); probes <= h.mask; probes++ {
@@ -313,7 +321,7 @@ func (h *Hash) find(key []byte) (uint64, bool) {
 }
 
 // Lookup returns a slice aliasing the stored value, or nil.
-func (h *Hash) Lookup(key []byte) []byte {
+func (h *FlatHash) Lookup(key []byte) []byte {
 	if len(key) != h.keySize {
 		return nil
 	}
@@ -324,7 +332,7 @@ func (h *Hash) Lookup(key []byte) []byte {
 }
 
 // Update inserts or overwrites key.
-func (h *Hash) Update(key, value []byte) error {
+func (h *FlatHash) Update(key, value []byte) error {
 	if len(key) != h.keySize {
 		return ErrKeySize
 	}
@@ -347,7 +355,7 @@ func (h *Hash) Update(key, value []byte) error {
 }
 
 // Delete removes key.
-func (h *Hash) Delete(key []byte) error {
+func (h *FlatHash) Delete(key []byte) error {
 	if len(key) != h.keySize {
 		return ErrKeySize
 	}
@@ -361,13 +369,53 @@ func (h *Hash) Delete(key []byte) error {
 	return nil
 }
 
+// lruCore adapters: the LRU layer addresses flat entries by slot index.
+
+func (h *FlatHash) slotCap() int { return len(h.state) }
+
+func (h *FlatHash) findSlot(key []byte) (int32, bool) {
+	i, ok := h.find(key)
+	if !ok {
+		return -1, false
+	}
+	return int32(i), true
+}
+
+func (h *FlatHash) insertSlot(key, value []byte) (int32, error) {
+	i, ok := h.find(key)
+	if ok {
+		copy(h.valAt(i), value)
+		return int32(i), nil
+	}
+	if i == ^uint64(0) {
+		return -1, ErrNoSpace
+	}
+	h.state[i] = 1
+	copy(h.keyAt(i), key)
+	copy(h.valAt(i), value)
+	h.count++
+	return int32(i), nil
+}
+
+func (h *FlatHash) removeSlot(i int32) {
+	h.state[i] = 2
+	clear(h.valAt(uint64(i)))
+	h.count--
+}
+
+func (h *FlatHash) keyAtSlot(i int32) []byte { return h.keyAt(uint64(i)) }
+func (h *FlatHash) valAtSlot(i int32) []byte { return h.valAt(uint64(i)) }
+
 // --- LRUHash ---
 
 // LRUHash is a hash map that evicts the least recently used entry when
 // full. Recency is tracked with an intrusive doubly-linked list over
-// slot indices, as BPF_MAP_TYPE_LRU_HASH does per CPU.
+// slot indices, as BPF_MAP_TYPE_LRU_HASH does per CPU. The recency
+// layer is core-agnostic: it runs over whichever hash core SetImpl
+// selected (bucketed by default, flat as the reference).
 type LRUHash struct {
-	h          *Hash
+	core       lruCore
+	maxEntries int
 	prev, next []int32
 	head, tail int32 // head = most recent
 	slotOf     map[string]int32
@@ -381,31 +429,37 @@ type LRUHash struct {
 	InsertFails uint64
 }
 
-// NewLRUHash creates an LRU hash map with the given capacity.
+// NewLRUHash creates an LRU hash map over the core CurrentImpl selects.
 func NewLRUHash(keySize, valueSize, maxEntries int) (*LRUHash, error) {
-	h, err := NewHash(keySize, valueSize, maxEntries)
+	return NewLRUHashImpl(CurrentImpl(), keySize, valueSize, maxEntries)
+}
+
+// NewLRUHashImpl creates an LRU hash map over an explicit core.
+func NewLRUHashImpl(impl Impl, keySize, valueSize, maxEntries int) (*LRUHash, error) {
+	core, err := newCore(impl, keySize, valueSize, maxEntries)
 	if err != nil {
 		return nil, err
 	}
-	n := len(h.state)
+	n := core.slotCap()
 	l := &LRUHash{
-		h:      h,
-		prev:   make([]int32, n),
-		next:   make([]int32, n),
-		head:   -1,
-		tail:   -1,
-		slotOf: make(map[string]int32, maxEntries),
+		core:       core,
+		maxEntries: maxEntries,
+		prev:       make([]int32, n),
+		next:       make([]int32, n),
+		head:       -1,
+		tail:       -1,
+		slotOf:     make(map[string]int32, maxEntries),
 	}
 	return l, nil
 }
 
 func (l *LRUHash) Type() Type      { return TypeLRUHash }
-func (l *LRUHash) KeySize() int    { return l.h.keySize }
-func (l *LRUHash) ValueSize() int  { return l.h.valueSize }
-func (l *LRUHash) MaxEntries() int { return l.h.maxEntries }
+func (l *LRUHash) KeySize() int    { return l.core.KeySize() }
+func (l *LRUHash) ValueSize() int  { return l.core.ValueSize() }
+func (l *LRUHash) MaxEntries() int { return l.maxEntries }
 
 // Len returns the number of stored entries.
-func (l *LRUHash) Len() int { return l.h.count }
+func (l *LRUHash) Len() int { return l.core.Len() }
 
 func (l *LRUHash) unlink(i int32) {
 	if l.prev[i] >= 0 {
@@ -434,7 +488,7 @@ func (l *LRUHash) pushFront(i int32) {
 
 // Lookup returns the value and marks the entry most recently used.
 func (l *LRUHash) Lookup(key []byte) []byte {
-	if len(key) != l.h.keySize {
+	if len(key) != l.core.KeySize() {
 		return nil
 	}
 	i, ok := l.slotOf[string(key)]
@@ -443,45 +497,57 @@ func (l *LRUHash) Lookup(key []byte) []byte {
 	}
 	l.unlink(i)
 	l.pushFront(i)
-	return l.h.valAt(uint64(i))
+	return l.core.valAtSlot(i)
+}
+
+// Peek returns the value without refreshing its recency — the
+// control-plane read path (merge-on-read aggregation, tests) that must
+// not perturb the eviction order the datapath sees.
+func (l *LRUHash) Peek(key []byte) []byte {
+	if len(key) != l.core.KeySize() {
+		return nil
+	}
+	i, ok := l.slotOf[string(key)]
+	if !ok {
+		return nil
+	}
+	return l.core.valAtSlot(i)
 }
 
 // Update inserts or refreshes key, evicting the LRU entry when full.
 func (l *LRUHash) Update(key, value []byte) error {
-	if len(key) != l.h.keySize {
+	if len(key) != l.core.KeySize() {
 		return ErrKeySize
 	}
-	if len(value) != l.h.valueSize {
+	if len(value) != l.core.ValueSize() {
 		return ErrValueSize
 	}
 	if i, ok := l.slotOf[string(key)]; ok {
-		copy(l.h.valAt(uint64(i)), value)
+		copy(l.core.valAtSlot(i), value)
 		l.unlink(i)
 		l.pushFront(i)
 		return nil
 	}
-	if l.h.count >= l.h.maxEntries {
+	if l.core.Len() >= l.maxEntries {
 		// Evict least recently used.
 		victim := l.tail
 		if victim < 0 {
 			l.InsertFails++
 			return ErrNoSpace
 		}
-		vkey := string(l.h.keyAt(uint64(victim)))
+		vkey := string(l.core.keyAtSlot(victim))
 		l.unlink(victim)
 		delete(l.slotOf, vkey)
-		l.h.state[victim] = 2
-		clear(l.h.valAt(uint64(victim)))
-		l.h.count--
+		l.core.removeSlot(victim)
 		l.Evictions++
 	}
-	if err := l.h.Update(key, value); err != nil {
+	i, err := l.core.insertSlot(key, value)
+	if err != nil {
 		l.InsertFails++
 		return err
 	}
-	i, _ := l.h.find(key)
-	l.slotOf[string(key)] = int32(i)
-	l.pushFront(int32(i))
+	l.slotOf[string(key)] = i
+	l.pushFront(i)
 	return nil
 }
 
@@ -493,12 +559,10 @@ func (l *LRUHash) EvictOldest(n int) int {
 	evicted := 0
 	for evicted < n && l.tail >= 0 {
 		victim := l.tail
-		vkey := string(l.h.keyAt(uint64(victim)))
+		vkey := string(l.core.keyAtSlot(victim))
 		l.unlink(victim)
 		delete(l.slotOf, vkey)
-		l.h.state[victim] = 2
-		clear(l.h.valAt(uint64(victim)))
-		l.h.count--
+		l.core.removeSlot(victim)
 		l.Evictions++
 		evicted++
 	}
@@ -507,7 +571,7 @@ func (l *LRUHash) EvictOldest(n int) int {
 
 // Delete removes key.
 func (l *LRUHash) Delete(key []byte) error {
-	if len(key) != l.h.keySize {
+	if len(key) != l.core.KeySize() {
 		return ErrKeySize
 	}
 	i, ok := l.slotOf[string(key)]
@@ -516,8 +580,6 @@ func (l *LRUHash) Delete(key []byte) error {
 	}
 	l.unlink(i)
 	delete(l.slotOf, string(key))
-	l.h.state[i] = 2
-	clear(l.h.valAt(uint64(i)))
-	l.h.count--
+	l.core.removeSlot(i)
 	return nil
 }

@@ -1,0 +1,339 @@
+package maps
+
+// Per-CPU hash semantics: copy isolation, the merge-on-read algebra
+// (associative, commutative, shard-count-invariant), non-perturbing
+// control-plane reads, concurrent use of fixed-CPU views under -race,
+// and decorator passthrough for the surfaces the new types added.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func pcKey(i uint64) []byte {
+	k := make([]byte, 8)
+	binary.LittleEndian.PutUint64(k, i)
+	return k
+}
+
+func pcVal(lanes ...uint32) []byte {
+	v := make([]byte, 4*len(lanes))
+	for i, l := range lanes {
+		binary.LittleEndian.PutUint32(v[i*4:], l)
+	}
+	return v
+}
+
+func TestPerCPUHashIsolation(t *testing.T) {
+	p := Must(NewPerCPUHash(8, 8, 16, 3))
+	p.SetCPU(1)
+	if err := p.Update(pcKey(7), pcVal(10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	p.SetCPU(0)
+	if p.Lookup(pcKey(7)) != nil {
+		t.Fatal("cpu0 sees cpu1's entry")
+	}
+	if err := p.Delete(pcKey(7)); err != ErrNotFound {
+		t.Fatalf("cpu0 delete of cpu1's entry: %v", err)
+	}
+	p.SetCPU(2)
+	if err := p.Update(pcKey(7), pcVal(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("total len %d, want 2", p.Len())
+	}
+	out := make([]byte, 8)
+	if !p.MergeLookup(pcKey(7), out, AddU32Lanes) {
+		t.Fatal("merge missed a present key")
+	}
+	if !bytes.Equal(out, pcVal(11, 22)) {
+		t.Fatalf("merged lanes %x, want %x", out, pcVal(11, 22))
+	}
+	if p.MergeLookup(pcKey(8), out, AddU32Lanes) {
+		t.Fatal("merge found an absent key")
+	}
+	if !bytes.Equal(out, make([]byte, 8)) {
+		t.Fatal("merge miss left out dirty")
+	}
+	// Capacity is per copy: each CPU admits maxEntries of its own.
+	q := Must(NewPerCPUHash(8, 8, 2, 2))
+	for cpu := 0; cpu < 2; cpu++ {
+		q.SetCPU(cpu)
+		for i := uint64(0); i < 2; i++ {
+			if err := q.Update(pcKey(i), pcVal(1, 1)); err != nil {
+				t.Fatalf("cpu %d insert %d: %v", cpu, i, err)
+			}
+		}
+		if err := q.Update(pcKey(9), pcVal(1, 1)); err != ErrNoSpace {
+			t.Fatalf("cpu %d overfill: %v, want ErrNoSpace", cpu, err)
+		}
+	}
+}
+
+// TestMergeAlgebra pins the properties sharded aggregation relies on:
+// folding lanes with AddU32Lanes/AddU64Lanes is associative and
+// commutative, so the merge result cannot depend on CPU enumeration
+// order.
+func TestMergeAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		lanes := make([][]byte, 5)
+		for i := range lanes {
+			lanes[i] = make([]byte, 16)
+			rng.Read(lanes[i])
+		}
+		fold := func(order []int, merge MergeFunc) []byte {
+			acc := make([]byte, 16)
+			for _, i := range order {
+				merge(acc, lanes[i])
+			}
+			return acc
+		}
+		for _, merge := range []MergeFunc{AddU32Lanes, AddU64Lanes} {
+			base := fold([]int{0, 1, 2, 3, 4}, merge)
+			perm := rng.Perm(5)
+			if !bytes.Equal(base, fold(perm, merge)) {
+				t.Fatalf("trial %d: merge not commutative under order %v", trial, perm)
+			}
+			// Associativity: fold a prefix into an accumulator, then fold
+			// that into the rest — lane sums are modular adds, so grouping
+			// cannot matter.
+			left := fold([]int{0, 1}, merge)
+			acc := make([]byte, 16)
+			merge(acc, left)
+			merge(acc, lanes[2])
+			merge(acc, lanes[3])
+			merge(acc, lanes[4])
+			if !bytes.Equal(base, acc) {
+				t.Fatalf("trial %d: merge not associative", trial)
+			}
+		}
+	}
+}
+
+// TestPerCPUShardInvariance hash-partitions one keyed update stream
+// across 1/2/4/8 CPUs and demands the merged per-key totals be
+// bit-identical at every width — the map-level statement of the
+// shard-count invariance the sharded replay harness asserts end to
+// end. Flows stay below per-copy capacity so no copy evicts (per-CPU
+// LRU eviction under pressure is legitimately shard-dependent).
+func TestPerCPUShardInvariance(t *testing.T) {
+	const flows = 64
+	const updates = 20000
+	shardOf := func(key []byte, n int) int {
+		return int(SlotHash(key)>>17) % n // any deterministic partition
+	}
+	run := func(ncpu int, lru bool) map[uint64]uint64 {
+		var merge interface {
+			SetCPU(int)
+			Update(k, v []byte) error
+			Lookup(k []byte) []byte
+			MergeLookup(k, out []byte, m MergeFunc) bool
+		}
+		if lru {
+			merge = Must(NewPerCPULRUHash(8, 16, 128, ncpu))
+		} else {
+			merge = Must(NewPerCPUHash(8, 16, 128, ncpu))
+		}
+		rng := rand.New(rand.NewSource(9))
+		for u := 0; u < updates; u++ {
+			k := pcKey(uint64(rng.Intn(flows)))
+			merge.SetCPU(shardOf(k, ncpu))
+			if v := merge.Lookup(k); v != nil {
+				binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+1)
+				continue
+			}
+			var init [16]byte
+			binary.LittleEndian.PutUint64(init[:], 1)
+			if err := merge.Update(k, init[:]); err != nil {
+				t.Fatalf("ncpu=%d update: %v", ncpu, err)
+			}
+		}
+		totals := make(map[uint64]uint64, flows)
+		out := make([]byte, 16)
+		for f := uint64(0); f < flows; f++ {
+			if merge.MergeLookup(pcKey(f), out, AddU64Lanes) {
+				totals[f] = binary.LittleEndian.Uint64(out)
+			}
+		}
+		return totals
+	}
+	for _, lru := range []bool{false, true} {
+		base := run(1, lru)
+		if len(base) == 0 {
+			t.Fatal("no flows merged")
+		}
+		for _, ncpu := range []int{2, 4, 8} {
+			got := run(ncpu, lru)
+			if len(got) != len(base) {
+				t.Fatalf("lru=%v ncpu=%d: %d flows merged, want %d", lru, ncpu, len(got), len(base))
+			}
+			for f, want := range base {
+				if got[f] != want {
+					t.Fatalf("lru=%v ncpu=%d flow %d: merged %d, want %d", lru, ncpu, f, got[f], want)
+				}
+			}
+		}
+	}
+}
+
+// TestPerCPULRUPeekDoesNotPerturb: MergeLookup reads through Peek, so
+// an aggregation sweep must not change which entry each copy evicts
+// next.
+func TestPerCPULRUPeekDoesNotPerturb(t *testing.T) {
+	p := Must(NewPerCPULRUHash(8, 8, 3, 2))
+	c := p.CPU(0)
+	for i := uint64(1); i <= 3; i++ {
+		if err := c.Update(pcKey(i), pcVal(uint32(i), 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recency is 1 < 2 < 3. A merge sweep over every key must leave it
+	// so: the next insert still evicts 1, not whatever was swept last.
+	out := make([]byte, 8)
+	for i := uint64(1); i <= 3; i++ {
+		p.MergeLookup(pcKey(i), out, AddU32Lanes)
+	}
+	if err := c.Update(pcKey(4), pcVal(4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Peek(pcKey(1)) != nil {
+		t.Fatal("merge sweep refreshed recency: LRU victim changed")
+	}
+	for i := uint64(2); i <= 4; i++ {
+		if c.Peek(pcKey(i)) == nil {
+			t.Fatalf("key %d wrongly evicted", i)
+		}
+	}
+	// Peek itself must not refresh either.
+	l := Must(NewLRUHash(8, 8, 2))
+	l.Update(pcKey(1), pcVal(1, 0))
+	l.Update(pcKey(2), pcVal(2, 0))
+	l.Peek(pcKey(1))
+	l.Update(pcKey(3), pcVal(3, 0))
+	if l.Peek(pcKey(1)) != nil {
+		t.Fatal("Peek refreshed recency")
+	}
+}
+
+// TestPerCPUConcurrentViews exercises the ParallelRun access mode under
+// -race: one goroutine per CPU hammering its own fixed view, no shared
+// selector, then a merge pass validating totals.
+func TestPerCPUConcurrentViews(t *testing.T) {
+	const ncpu = 8
+	const perCPU = 5000
+	p := Must(NewPerCPULRUHash(8, 8, 64, ncpu))
+	var wg sync.WaitGroup
+	for cpu := 0; cpu < ncpu; cpu++ {
+		wg.Add(1)
+		go func(cpu int) {
+			defer wg.Done()
+			view := p.CPU(cpu)
+			for u := 0; u < perCPU; u++ {
+				k := pcKey(uint64(u % 32))
+				if v := view.Lookup(k); v != nil {
+					binary.LittleEndian.PutUint64(v, binary.LittleEndian.Uint64(v)+1)
+					continue
+				}
+				var init [8]byte
+				binary.LittleEndian.PutUint64(init[:], 1)
+				if err := view.Update(k, init[:]); err != nil {
+					t.Errorf("cpu %d: %v", cpu, err)
+					return
+				}
+			}
+		}(cpu)
+	}
+	wg.Wait()
+	out := make([]byte, 8)
+	var total uint64
+	for f := uint64(0); f < 32; f++ {
+		if p.MergeLookup(pcKey(f), out, AddU64Lanes) {
+			total += binary.LittleEndian.Uint64(out)
+		}
+	}
+	if total != ncpu*perCPU {
+		t.Fatalf("merged %d updates, want %d", total, ncpu*perCPU)
+	}
+}
+
+// TestFaultyPerCPUPassthrough covers the passthrough gaps the per-CPU
+// types exposed in the Faulty decorator: Len and SetCPU must reach
+// through it, and injected faults must hit only the selected copy's
+// operation, leaving other copies untouched.
+func TestFaultyPerCPUPassthrough(t *testing.T) {
+	p := Must(NewPerCPUHash(8, 8, 16, 2))
+	fail := false
+	f := &Faulty{M: p, FailUpdate: func() bool { return fail }}
+	f.SetCPU(1)
+	if err := f.Update(pcKey(1), pcVal(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if p.CPU(1).Len() != 1 || p.CPU(0).Len() != 0 {
+		t.Fatal("SetCPU did not reach through Faulty")
+	}
+	if f.Len() != 1 {
+		t.Fatalf("Faulty.Len() = %d, want 1", f.Len())
+	}
+	fail = true
+	if err := f.Update(pcKey(2), pcVal(1, 1)); err != ErrNoSpace {
+		t.Fatalf("injected update: %v", err)
+	}
+	if f.Len() != 1 {
+		t.Fatal("injected failure mutated the map")
+	}
+	// LRU flavour: telemetry surfaces visible through the decorator.
+	l := Must(NewLRUHash(8, 8, 4))
+	fl := &Faulty{M: l}
+	for i := uint64(0); i < 6; i++ {
+		if err := fl.Update(pcKey(i), pcVal(0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fl.Len() != 4 {
+		t.Fatalf("Faulty.Len over LRU = %d, want 4", fl.Len())
+	}
+	if l.Evictions != 2 {
+		t.Fatalf("evictions %d, want 2", l.Evictions)
+	}
+	// A Faulty over a plain Array (no Len surface) reports -1, not 0.
+	fa := &Faulty{M: Must(NewArray(8, 4))}
+	if fa.Len() != -1 {
+		t.Fatalf("Faulty.Len over array = %d, want -1", fa.Len())
+	}
+}
+
+// TestPerCPUTypesAndArenas pins the new Type values, their strings, and
+// the per-CPU arena registration shape the VM consumes.
+func TestPerCPUTypesAndArenas(t *testing.T) {
+	p := Must(NewPerCPUHash(8, 8, 16, 3))
+	l := Must(NewPerCPULRUHash(8, 8, 16, 3))
+	if p.Type() != TypePerCPUHash || p.Type().String() != "percpu_hash" {
+		t.Fatalf("hash type %v (%q)", p.Type(), p.Type().String())
+	}
+	if l.Type() != TypePerCPULRUHash || l.Type().String() != "percpu_lru_hash" {
+		t.Fatalf("lru type %v (%q)", l.Type(), l.Type().String())
+	}
+	if p.ArenaCount() != 3 || l.ArenaCount() != 3 {
+		t.Fatal("per-CPU maps must register one arena per copy")
+	}
+	p.SetCPU(2)
+	if err := p.Update(pcKey(5), pcVal(9, 9)); err != nil {
+		t.Fatal(err)
+	}
+	cpu, off, ok := p.LookupArena(pcKey(5))
+	if !ok || cpu != 2 {
+		t.Fatalf("LookupArena resolved cpu %d ok=%v, want cpu 2", cpu, ok)
+	}
+	if got := p.Arena(2)[off : off+8]; !bytes.Equal(got, pcVal(9, 9)) {
+		t.Fatalf("arena bytes %x at resolved offset", got)
+	}
+	if _, _, ok := l.LookupArena(pcKey(5)); ok {
+		t.Fatal("empty LRU resolved a key")
+	}
+}

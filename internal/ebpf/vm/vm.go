@@ -314,14 +314,16 @@ func (vm *VM) mapPointer(fd int32) (uint64, bool) {
 	return 0, false
 }
 
-// SetCPU selects the logical CPU: per-CPU maps switch to that CPU's
-// private copy. Decorators (maps.Faulty) are unwrapped so injection
-// wrappers don't hide the per-CPU switch.
+// SetCPU selects the logical CPU: per-CPU maps (array and hash alike)
+// switch to that CPU's private copy. Dispatch is by capability, not
+// concrete type, so PerCPUArray, PerCPUHash, and PerCPULRUHash all
+// switch; decorators (maps.Faulty) are unwrapped so injection wrappers
+// don't hide the per-CPU switch.
 func (vm *VM) SetCPU(cpu int) {
 	vm.cpu = cpu
 	for _, m := range vm.mapsByFD {
 		for m != nil {
-			if p, ok := m.(*maps.PerCPUArray); ok {
+			if p, ok := m.(interface{ SetCPU(int) }); ok {
 				p.SetCPU(cpu)
 				break
 			}

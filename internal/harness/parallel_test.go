@@ -57,6 +57,72 @@ func TestParallelRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestParallelRunPerCPUConntrack is the per-CPU map contract end to
+// end: conntrack shards built over one shared PerCPULRUHash (each shard
+// a private copy, concurrent goroutines, no shared arenas), then
+// merge-on-read aggregation. With the flow count below per-copy
+// capacity no copy ever evicts, so the merged per-flow packet totals
+// must be bit-identical at every shard count — each flow is seen
+// (1 warm-up + trials) times its trace count, regardless of which copy
+// tracked it. (Under eviction pressure per-CPU LRU survival is
+// legitimately shard-dependent, as in the kernel; that regime is
+// exercised by the attack grid, not pinned here.)
+func TestParallelRunPerCPUConntrack(t *testing.T) {
+	const trials = 2
+	trace := pktgen.Generate(pktgen.Config{
+		Flows: 64, Packets: 2000, ZipfS: 1.1, Seed: 42}) // 64 flows < 128 per-copy entries
+	exact := make([]uint64, len(trace.FlowKeys))
+	for _, f := range trace.FlowOf {
+		exact[f]++
+	}
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF} {
+		t.Run(flavor.String(), func(t *testing.T) {
+			var want harness.VerdictCounts
+			for _, shards := range []int{1, 2, 4, 8} {
+				sh, err := nfcatalog.NewShardedPerCPU("conntrack", flavor, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := harness.ParallelRun(trace.Clone(), shards, sh.Build, trials)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if shards == 1 {
+					want = res.Verdicts
+				} else if res.Verdicts != want {
+					t.Fatalf("shards=%d verdicts %v, want %v", shards, res.Verdicts, want)
+				}
+				if res.Verdicts.Drop != 0 {
+					t.Fatalf("shards=%d: %d flows shed with no capacity pressure", shards, res.Verdicts.Drop)
+				}
+				p := sh.PerCPUTable()
+				if p == nil || p.NumCPU() != shards {
+					t.Fatalf("shards=%d: per-CPU table has %d copies", shards, p.NumCPU())
+				}
+				if ev := p.Evictions(); ev != 0 {
+					t.Fatalf("shards=%d: %d evictions below capacity", shards, ev)
+				}
+				for f := range trace.FlowKeys {
+					key := trace.FlowKeys[f]
+					got, ok := sh.FlowPackets(key[:])
+					if exact[f] == 0 {
+						if ok {
+							t.Fatalf("shards=%d: merge found flow %d that never appeared", shards, f)
+						}
+						continue
+					}
+					if !ok {
+						t.Fatalf("shards=%d: flow %d missing from every copy", shards, f)
+					}
+					if want := (1 + trials) * exact[f]; got != want {
+						t.Fatalf("shards=%d flow %d: merged %d packets, want %d", shards, f, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestParallelRunMatchesThroughput anchors the 1-shard parallel path
 // to the reference serial harness: same NF, same trace, same verdict
 // tally.

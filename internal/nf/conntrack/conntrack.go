@@ -87,6 +87,45 @@ func New(flavor nf.Flavor, cfg Config) (*Tracker, error) {
 	return nil, fmt.Errorf("conntrack: unknown flavor %v", flavor)
 }
 
+// NewOnCPU builds the NF over one CPU's private copy of a shared
+// per-CPU LRU flow table — the BPF_MAP_TYPE_LRU_PERCPU_HASH deployment
+// shape, where every RSS shard owns its copy outright and cross-shard
+// totals come from merge-on-read aggregation (p.MergeLookup), never
+// from shared datapath state. The returned tracker's degrade, probe,
+// and telemetry surfaces all address only its own copy.
+func NewOnCPU(flavor nf.Flavor, p *maps.PerCPULRUHash, cpu int) (*Tracker, error) {
+	if p == nil {
+		return nil, fmt.Errorf("conntrack: nil per-cpu table")
+	}
+	if cpu < 0 || cpu >= p.NumCPU() {
+		return nil, fmt.Errorf("conntrack: cpu %d outside table's %d copies", cpu, p.NumCPU())
+	}
+	t := &Tracker{cfg: Config{Entries: p.MaxEntries()}}
+	view := p.CPU(cpu)
+	switch flavor {
+	case nf.Kernel:
+		t.lru = view
+		t.m = view
+		t.Instance = &nf.NativeInstance{NFName: "conntrack", Fn: t.track}
+		return t, nil
+	case nf.EBPF:
+		machine := vm.New()
+		t.lru = view
+		fd := machine.RegisterMap(view)
+		ins, err := buildProgram(fd).Program()
+		if err != nil {
+			return nil, fmt.Errorf("conntrack: assemble: %w", err)
+		}
+		prog, err := verifier.LoadAndVerify(machine, "conntrack", ins, verifier.Options{CtxSize: nf.PktSize})
+		if err != nil {
+			return nil, err
+		}
+		t.Instance = nf.NewVMInstance("conntrack", flavor, machine, prog)
+		return t, nil
+	}
+	return nil, fmt.Errorf("conntrack: per-cpu variant supports Kernel and EBPF, not %v", flavor)
+}
+
 // Map returns the kernel flavour's backing map (nil for EBPF, whose
 // map is reached through the VM).
 func (t *Tracker) Map() maps.ArenaMap { return t.m }

@@ -9,6 +9,7 @@ package nfcatalog
 import (
 	"fmt"
 
+	"enetstl/internal/ebpf/maps"
 	"enetstl/internal/nf"
 	"enetstl/internal/pktgen"
 )
@@ -94,6 +95,52 @@ func diffOracle(name string) DiffOracle {
 		return OracleEstimate
 	}
 	return OracleExact
+}
+
+// ImplDiffCase is one NF×flavour built once per hash-core
+// implementation over bit-identical trace clones — the old-vs-new
+// conformance axis, orthogonal to DiffCase's flavour axis. The contract
+// is exact for every NF, sampling sketches included: within one
+// flavour the RNG streams are identical, so a map core swap that
+// changes any verdict or any estimator reading is a bug, not noise.
+type ImplDiffCase struct {
+	Name      string // "cmsketch/ebpf"
+	Impls     []maps.Impl
+	Insts     []nf.Instance
+	Traces    []*pktgen.Trace
+	Estimates []func(key []byte) uint32
+}
+
+// ImplDiffCases builds every registered NF in every supported flavour
+// twice — once over the flat reference core, once over the bucketed
+// core — each build on its own clone of the same canonical trace.
+func ImplDiffCases(cfg DiffConfig) ([]ImplDiffCase, error) {
+	cfg = cfg.norm()
+	prev := maps.CurrentImpl()
+	defer maps.SetImpl(prev)
+	var cases []ImplDiffCase
+	for _, name := range Names() {
+		canon := pktgen.Generate(pktgen.Config{
+			Flows: cfg.Flows, Packets: cfg.Packets, ZipfS: cfg.ZipfS, Seed: cfg.Seed})
+		for _, fl := range SupportedFlavors(name) {
+			c := ImplDiffCase{Name: fmt.Sprintf("%s/%v", name, fl)}
+			for _, impl := range []maps.Impl{maps.ImplFlat, maps.ImplBucket} {
+				trace := canon.Clone()
+				maps.SetImpl(impl)
+				b, err := buildFull(name, fl, trace)
+				if err != nil {
+					maps.SetImpl(prev)
+					return nil, fmt.Errorf("impl diff case %s/%v/%v: %w", name, fl, impl, err)
+				}
+				c.Impls = append(c.Impls, impl)
+				c.Insts = append(c.Insts, b.inst)
+				c.Traces = append(c.Traces, trace)
+				c.Estimates = append(c.Estimates, b.est)
+			}
+			cases = append(cases, c)
+		}
+	}
+	return cases, nil
 }
 
 // DiffCases builds every registered NF in all its supported flavours

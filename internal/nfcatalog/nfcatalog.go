@@ -8,6 +8,7 @@
 package nfcatalog
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"enetstl/internal/apps"
@@ -356,6 +357,9 @@ type Sharded struct {
 	Name   string
 	Flavor nf.Flavor
 	ests   []func(key []byte) uint32
+	// percpu, when set, is the shared per-CPU flow table conntrack
+	// shards take private copies of (see NewShardedPerCPU).
+	percpu *maps.PerCPULRUHash
 }
 
 // NewSharded returns the ParallelRun wiring for name/flavor. Prepare
@@ -364,9 +368,35 @@ func NewSharded(name string, flavor nf.Flavor) *Sharded {
 	return &Sharded{Name: name, Flavor: flavor}
 }
 
+// NewShardedPerCPU returns ParallelRun wiring whose shards share one
+// per-CPU map with private per-shard copies — the
+// BPF_MAP_TYPE_LRU_PERCPU_HASH deployment shape, where scale-out stops
+// sharing arenas. The shard count is needed up front to size the
+// per-CPU table (ParallelRun's builder callback doesn't know the
+// total). Only conntrack carries per-CPU wiring today: it is the one
+// catalog NF whose state is a flow table rather than a sketch, so its
+// cross-shard aggregate is merge-on-read (FlowPackets) instead of
+// estimator summation.
+func NewShardedPerCPU(name string, flavor nf.Flavor, shards int) (*Sharded, error) {
+	if name != "conntrack" {
+		return nil, fmt.Errorf("nfcatalog: no per-cpu wiring for %q", name)
+	}
+	// Same 128-entry sizing as the shared-table construct() path, but
+	// per copy, matching the kernel semantics (max_entries is per-CPU
+	// budgeted for percpu_lru maps).
+	p, err := maps.NewPerCPULRUHash(nf.KeyLen, conntrack.ValSize, 128, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Sharded{Name: name, Flavor: flavor, percpu: p}, nil
+}
+
 // Build constructs shard s's instance from its sub-trace. ParallelRun
 // calls it serially, one shard at a time, before any replay starts.
 func (s *Sharded) Build(shard int, trace *pktgen.Trace) (nf.Instance, error) {
+	if s.percpu != nil {
+		return conntrack.NewOnCPU(s.Flavor, s.percpu, shard)
+	}
 	b, err := construct(s.Name, s.Flavor, trace)
 	if err != nil {
 		return nil, err
@@ -375,6 +405,25 @@ func (s *Sharded) Build(shard int, trace *pktgen.Trace) (nf.Instance, error) {
 		s.ests = append(s.ests, b.est)
 	}
 	return b.inst, nil
+}
+
+// PerCPUTable returns the shared per-CPU flow table, or nil for wiring
+// built with NewSharded.
+func (s *Sharded) PerCPUTable() *maps.PerCPULRUHash { return s.percpu }
+
+// FlowPackets is the merge-on-read aggregate over the per-CPU flow
+// table: the total packets tracked for key across every shard's private
+// copy, folded with the canonical u64-lane sum. ok is false when no
+// shard holds the flow (or the wiring isn't per-CPU).
+func (s *Sharded) FlowPackets(key []byte) (pkts uint64, ok bool) {
+	if s.percpu == nil {
+		return 0, false
+	}
+	out := make([]byte, conntrack.ValSize)
+	if !s.percpu.MergeLookup(key, out, maps.AddU64Lanes) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(out), true
 }
 
 // Estimate sums the per-shard estimators for key. ok is false when the

@@ -33,8 +33,9 @@ const (
 	ScenarioChurn
 	// ScenarioCollision models a hash-collision adversary: attack flows
 	// are derived so their keys collide both in the RSS flow hash
-	// (stacking one shard) and in the map slot hash (degenerating bucket
-	// probe chains into linear scans).
+	// (stacking one shard) and in the map slot hash (piling into one L1
+	// bucket of the bucketed layout, so every insert past its 8 slots
+	// takes the L2/L3/stash spill path instead of the wide fast path).
 	ScenarioCollision
 )
 
@@ -100,10 +101,12 @@ type AttackConfig struct {
 	ChurnActive int
 
 	// CollisionBuckets is the power-of-two slot-hash modulus the
-	// colliding keys target (default 1024): keys colliding mod B collide
-	// in every open-addressed table of at most B slots. CollisionShards
-	// is the RSS modulus (default 4): all attack flows land on one shard
-	// for any shard count dividing it.
+	// colliding keys target (default 1024): the bucketed map picks its
+	// L1 bucket as SlotHash mod a power of two, so keys colliding mod B
+	// share an L1 bucket in every table with at most B L1 buckets (and,
+	// equivalently, a probe chain in any open-addressed table of at most
+	// B slots). CollisionShards is the RSS modulus (default 4): all
+	// attack flows land on one shard for any shard count dividing it.
 	CollisionBuckets int
 	CollisionShards  int
 }
@@ -164,9 +167,11 @@ func spoofKey(base uint32, i int, dst uint32) [nf.KeyLen]byte {
 
 // collideKeys derives n flow keys that collide both in the map slot
 // hash (mod buckets) and in the RSS flow hash (mod shards), by brute
-// force over the dst-address field — the adversary's precomputation.
-// The targets are taken from key 0 so the colliding set includes a
-// concrete victim pattern rather than an arbitrary constant.
+// force over the dst-address field — the adversary's precomputation,
+// aimed at maps.SlotHash, the bucketed core's real placement function,
+// not a stand-in. The targets are taken from key 0 so the colliding
+// set includes a concrete victim pattern rather than an arbitrary
+// constant.
 func collideKeys(n, buckets, shards int) [][nf.KeyLen]byte {
 	out := make([][nf.KeyLen]byte, 0, n)
 	first := spoofKey(0x0d000000, 0, 0)

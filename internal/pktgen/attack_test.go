@@ -123,6 +123,67 @@ func TestAttackCollision(t *testing.T) {
 	}
 }
 
+// TestAttackCollisionSpills drives the adversary's colliding keys into
+// a real bucketed map sized like conntrack's flow table and verifies
+// the attack does what it claims: every key lands in one L1 bucket, so
+// inserts past its 8 slots take the spill path through L2, L3, and the
+// stash — and the map stays correct throughout (every key retrievable,
+// deletes exact) even with the fast path fully defeated.
+func TestAttackCollisionSpills(t *testing.T) {
+	tr := GenerateAttack(attackCfg(ScenarioCollision))
+	var atk [][16]byte
+	seen := map[int32]bool{}
+	for i := range tr.Packets {
+		if tr.Labels[i] == 1 && !seen[tr.FlowOf[i]] {
+			seen[tr.FlowOf[i]] = true
+			atk = append(atk, tr.FlowKeys[tr.FlowOf[i]])
+		}
+	}
+	if len(atk) < 100 {
+		t.Fatalf("only %d distinct attack flows labeled", len(atk))
+	}
+	// conntrack's sizing: 128 entries -> 16 L1 buckets, so the mod-1024
+	// collision set shares one L1 bucket.
+	h, err := maps.NewBucketHash(16, 8, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	val := make([]byte, 8)
+	n := min(len(atk), 128)
+	for i := 0; i < n; i++ {
+		if err := h.Update(atk[i][:], val); err != nil {
+			t.Fatalf("insert %d of colliding set: %v", i, err)
+		}
+	}
+	if h.SpillsL2 == 0 {
+		t.Fatal("collision load never overflowed the target L1 bucket")
+	}
+	if h.SpillsL3 == 0 {
+		t.Fatal("collision load never reached the L3 spill path")
+	}
+	t.Logf("spills under %d colliding inserts: L2=%d L3=%d stash=%d",
+		n, h.SpillsL2, h.SpillsL3, h.SpillsStash)
+	// Correctness under full spill: every inserted key resolves, and
+	// interleaved deletes stay exact (no tombstone machinery to get
+	// wrong — the probe set per key is fixed).
+	for i := 0; i < n; i++ {
+		if h.Lookup(atk[i][:]) == nil {
+			t.Fatalf("key %d lost under collision load", i)
+		}
+	}
+	for i := 0; i < n; i += 2 {
+		if err := h.Delete(atk[i][:]); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got := h.Lookup(atk[i][:]) != nil
+		if want := i%2 == 1; got != want {
+			t.Fatalf("key %d presence %v after alternating deletes, want %v", i, got, want)
+		}
+	}
+}
+
 // TestAttackShardRoundTrip is the metadata round-trip contract: labels,
 // arrival ticks, and window membership survive RSS sharding (and
 // Clone), packet for packet — so a sharded replay sees exactly the
