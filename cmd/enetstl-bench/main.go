@@ -35,6 +35,7 @@ func main() {
 		attack  = flag.Bool("attack", false, "run the adversarial scenario grid (guard off vs on) over the full NF catalog instead of the paper experiments")
 		serve   = flag.String("serve", "", "serve the observability plane (/metrics /profile /debug/pprof) on this address while the experiments run; implies live VM stats")
 		mapImpl = flag.String("map-impl", "bucket", "hash map core behind every NF: bucket (wide-compare, default) | flat (open-addressed reference)")
+		interp  = flag.String("interp", "", "interpreter tier behind every VM flavour: wire | predecoded (default) | jit")
 	)
 	flag.Parse()
 
@@ -48,6 +49,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown -map-impl %q (bucket|flat)\n", *mapImpl)
 		os.Exit(2)
 	}
+
+	// Likewise the interpreter tier: every VM the experiments create
+	// starts on the selected tier.
+	tier, err := vm.ParseTier(*interp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	vm.SetDefaultTier(tier)
 
 	if *serve != "" {
 		// Live VM counters feed the /metrics and /profile scrapes while

@@ -1,0 +1,117 @@
+package difftest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/verifier"
+)
+
+// fuzzProgCap bounds how many instructions one fuzz input decodes to,
+// so a single differential run stays cheap and the fuzzer explores
+// inputs instead of grinding through one giant program.
+const fuzzProgCap = 512
+
+// decodeFuzzProg interprets data in the classic eBPF wire layout:
+// 8 bytes per instruction — opcode, dst|src register nibbles,
+// little-endian 16-bit offset, little-endian 32-bit immediate.
+// Trailing bytes that do not fill an instruction are ignored.
+func decodeFuzzProg(data []byte) []isa.Instruction {
+	n := len(data) / 8
+	if n > fuzzProgCap {
+		n = fuzzProgCap
+	}
+	prog := make([]isa.Instruction, 0, n)
+	for i := 0; i < n; i++ {
+		b := data[i*8 : i*8+8]
+		prog = append(prog, isa.Instruction{
+			Op:  b[0],
+			Dst: isa.Reg(b[1] & 0x0f),
+			Src: isa.Reg(b[1] >> 4),
+			Off: int16(binary.LittleEndian.Uint16(b[2:4])),
+			Imm: int32(binary.LittleEndian.Uint32(b[4:8])),
+		})
+	}
+	return prog
+}
+
+// encodeFuzzProg is the inverse of decodeFuzzProg, used to seed the
+// corpus from generated programs.
+func encodeFuzzProg(prog []isa.Instruction) []byte {
+	out := make([]byte, 0, len(prog)*8)
+	for _, ins := range prog {
+		var b [8]byte
+		b[0] = ins.Op
+		b[1] = uint8(ins.Dst)&0x0f | uint8(ins.Src)<<4
+		binary.LittleEndian.PutUint16(b[2:4], uint16(ins.Off))
+		binary.LittleEndian.PutUint32(b[4:8], uint32(ins.Imm))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// FuzzJITCrossCheck feeds arbitrary bytecode through the full
+// differential driver: any program the verifier accepts is executed on
+// all three production tiers (predecoded, wire, jit) and the reference
+// interpreter, and the complete final state — registers, stack,
+// context, map arena, retired instruction count, error text — must
+// agree. The jit tier's block compiler is the newest and most intricate
+// of the four, so in practice this is the jit-vs-reference oracle; the
+// committed corpus under testdata/fuzz seeds it with generated
+// verifier-valid programs so coverage starts deep in the accept space.
+func FuzzJITCrossCheck(f *testing.F) {
+	for seed := uint64(0); seed < 8; seed++ {
+		prog, err := GenProgram(seed)
+		if err != nil {
+			f.Fatalf("seed %d: %v", seed, err)
+		}
+		f.Add(encodeFuzzProg(prog))
+	}
+	ctx := jitCtx()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := decodeFuzzProg(data)
+		switch err := CrossCheck(prog, append([]byte(nil), ctx...)); {
+		case err == nil:
+		case errors.Is(err, verifier.ErrRejected):
+		default:
+			t.Fatalf("divergence: %v\n%s", err, isa.Disassemble(prog))
+		}
+	})
+}
+
+// TestRegenJITFuzzCorpus rewrites the committed seed corpus from the
+// program generator. Run with ENETSTL_REGEN_FUZZ_CORPUS=1 after
+// changing the generator or the wire encoding; otherwise it only
+// asserts the committed corpus exists and decodes.
+func TestRegenJITFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzJITCrossCheck")
+	if os.Getenv("ENETSTL_REGEN_FUZZ_CORPUS") != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for seed := uint64(0); seed < 8; seed++ {
+			prog, err := GenProgram(seed)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", encodeFuzzProg(prog))
+			name := filepath.Join(dir, fmt.Sprintf("gen-seed-%d", seed))
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("committed fuzz corpus missing (run with ENETSTL_REGEN_FUZZ_CORPUS=1 to rebuild): %v", err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("committed fuzz corpus is empty")
+	}
+}

@@ -174,33 +174,35 @@ func GenProgram(seed uint64) ([]isa.Instruction, error) {
 	return b.Program()
 }
 
-// vmRun executes prog on a fresh production VM — wire-format loop or
-// predecoded fast path per wire — and captures the complete observable
-// state: error, final registers, stack, mutated context, map arena.
-func vmRun(prog []isa.Instruction, ctx []byte, wire bool) (sink [isa.NumRegs]uint64, stack, runCtx, mapData []byte, runErr error, loadErr error) {
+// vmRun executes prog on a fresh production VM under the given
+// execution tier and captures the complete observable state: error,
+// final registers, stack, mutated context, map arena, and the retired
+// instruction count.
+func vmRun(prog []isa.Instruction, ctx []byte, tier vm.Tier) (sink [isa.NumRegs]uint64, stack, runCtx, mapData []byte, insns uint64, runErr error, loadErr error) {
 	machine := vm.New()
-	machine.SetWireInterp(wire)
+	machine.SetTier(tier)
 	arr := maps.Must(maps.NewArray(GenMapValueSize, GenMapEntries))
 	machine.RegisterMap(arr)
 	loaded, err := machine.Load("difftest", prog)
 	if err != nil {
-		return sink, nil, nil, nil, nil, err
+		return sink, nil, nil, nil, 0, nil, err
 	}
 	machine.RegSink = &sink
 	runCtx = append([]byte(nil), ctx...)
 	_, runErr = machine.Run(loaded, runCtx)
-	return sink, machine.Stack(), runCtx, arr.Data(), runErr, nil
+	return sink, machine.Stack(), runCtx, arr.Data(), machine.InsnCount, runErr, nil
 }
 
-// CrossCheck verifies prog, then runs it three ways — the predecoded
-// fast-path interpreter, the wire-format reference loop, and the
-// independent reference interpreter — over the same context bytes and
-// compares the complete final state pairwise: error nil-ness, all
-// eleven registers (pointer encodings are deterministic, so raw
-// equality is exact), the stack, the context, and the map arena. The
-// fast and wire paths must agree bit-for-bit even on failure; RefVM
-// agreement is on nil-ness plus success-state equality. A nil return
-// means all three machines agree; verifier rejection is reported as
+// CrossCheck verifies prog, then runs it four ways — the predecoded
+// fast-path interpreter, the block-compiled JIT tier, the wire-format
+// reference loop, and the independent reference interpreter — over the
+// same context bytes and compares the complete final state pairwise:
+// error nil-ness, all eleven registers (pointer encodings are
+// deterministic, so raw equality is exact), the stack, the context, the
+// map arena, and the retired instruction count. The fast, jit, and wire
+// paths must agree bit-for-bit even on failure, down to the error text;
+// RefVM agreement is on nil-ness plus success-state equality. A nil
+// return means all machines agree; verifier rejection is reported as
 // ErrRejected for the caller to count.
 func CrossCheck(prog []isa.Instruction, ctx []byte) error {
 	chk := vm.New()
@@ -209,13 +211,17 @@ func CrossCheck(prog []isa.Instruction, ctx []byte) error {
 		return err
 	}
 
-	fastRegs, fastStack, fastCtx, fastMap, fastErr, loadErr := vmRun(prog, ctx, false)
+	fastRegs, fastStack, fastCtx, fastMap, fastInsns, fastErr, loadErr := vmRun(prog, ctx, vm.TierPredecoded)
 	if loadErr != nil {
 		return fmt.Errorf("load: %w", loadErr)
 	}
-	wireRegs, wireStack, wireCtx, wireMap, wireErr, loadErr := vmRun(prog, ctx, true)
+	wireRegs, wireStack, wireCtx, wireMap, wireInsns, wireErr, loadErr := vmRun(prog, ctx, vm.TierWire)
 	if loadErr != nil {
 		return fmt.Errorf("load (wire): %w", loadErr)
+	}
+	jitRegs, jitStack, jitCtx, jitMap, jitInsns, jitErr, loadErr := vmRun(prog, ctx, vm.TierJIT)
+	if loadErr != nil {
+		return fmt.Errorf("load (jit): %w", loadErr)
 	}
 
 	// Predecoded vs wire-format: the fast path is a pure reimplementation
@@ -233,6 +239,27 @@ func CrossCheck(prog []isa.Instruction, ctx []byte) error {
 		return fmt.Errorf("context divergence (fast vs wire)")
 	case !bytes.Equal(fastMap, wireMap):
 		return fmt.Errorf("map state divergence (fast vs wire)")
+	case fastInsns != wireInsns:
+		return fmt.Errorf("insn count divergence: fast=%d wire=%d", fastInsns, wireInsns)
+	}
+
+	// JIT vs wire-format: held to the same bit-for-bit standard, budget
+	// accounting included.
+	switch {
+	case (jitErr == nil) != (wireErr == nil):
+		return fmt.Errorf("error divergence: jit=%v wire=%v", jitErr, wireErr)
+	case jitErr != nil && jitErr.Error() != wireErr.Error():
+		return fmt.Errorf("error text divergence:\n  jit : %v\n  wire: %v", jitErr, wireErr)
+	case jitRegs != wireRegs:
+		return fmt.Errorf("register divergence:\n  jit : %x\n  wire: %x", jitRegs, wireRegs)
+	case !bytes.Equal(jitStack, wireStack):
+		return fmt.Errorf("stack divergence (jit vs wire)")
+	case !bytes.Equal(jitCtx, wireCtx):
+		return fmt.Errorf("context divergence (jit vs wire)")
+	case !bytes.Equal(jitMap, wireMap):
+		return fmt.Errorf("map state divergence (jit vs wire)")
+	case jitInsns != wireInsns:
+		return fmt.Errorf("insn count divergence: jit=%d wire=%d", jitInsns, wireInsns)
 	}
 
 	ref := NewRef()

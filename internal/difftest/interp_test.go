@@ -1,0 +1,57 @@
+package difftest
+
+import (
+	"testing"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/nfcatalog"
+)
+
+// TestInterpEquivalence is the interpreter-tier conformance gate: every
+// VM-backed NF×flavour built under the predecoded, wire, and jit tiers,
+// replayed on bit-identical traces, exact agreement demanded throughout
+// (see interp.go for why exactness is the right oracle even for the
+// sampling sketches).
+func TestInterpEquivalence(t *testing.T) {
+	rep, err := RunInterpEquivalence(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep)
+	if rep.Failed() {
+		t.Fatalf("interp divergences:\n%s", rep)
+	}
+	want := 0
+	for _, name := range nfcatalog.Names() {
+		for _, fl := range nfcatalog.SupportedFlavors(name) {
+			if fl != nf.Kernel {
+				want++
+			}
+		}
+	}
+	if rep.Cases != want {
+		t.Fatalf("covered %d NF×flavour cases, want %d", rep.Cases, want)
+	}
+	if rep.Instances != 3*want {
+		t.Fatalf("replayed %d instances, want %d (each case under all three tiers)", rep.Instances, 3*want)
+	}
+	if rep.Probes == 0 {
+		t.Fatal("no estimator probes ran — estimator exactness wiring is dead")
+	}
+}
+
+// TestInterpEquivalenceSeeds re-runs the tier differential under an
+// alternate seed and skew so agreement is not an artifact of one
+// stream's collision pattern.
+func TestInterpEquivalenceSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed replay is slow")
+	}
+	rep, err := RunInterpEquivalence(Config{Seed: 7, ZipfS: 1.3, Packets: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("seed 7: interp divergences:\n%s", rep)
+	}
+}

@@ -1,0 +1,173 @@
+package difftest
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"enetstl/internal/ebpf/isa"
+	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/vm"
+)
+
+// jitCtx is the fixed context every jit property test replays — same
+// shape the difftest sweep uses.
+func jitCtx() []byte {
+	ctx := make([]byte, 64)
+	for i := range ctx {
+		ctx[i] = byte(i*7 + 1)
+	}
+	return ctx
+}
+
+// TestJITLeadersCoverBranchTargets is the block-splitting soundness
+// property: every jump target the wire stream can name must begin a
+// compiled block, otherwise a taken branch would land mid-closure. The
+// compiler may create extra leaders (fall-throughs, call returns) —
+// the property is superset, not equality.
+func TestJITLeadersCoverBranchTargets(t *testing.T) {
+	compiled := 0
+	for seed := uint64(0); seed < 300; seed++ {
+		prog, err := GenProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		machine := vm.New()
+		machine.RegisterMap(maps.Must(maps.NewArray(GenMapValueSize, GenMapEntries)))
+		loaded, err := machine.Load("jitprop", prog)
+		if err != nil {
+			continue // verifier rejection: nothing to compile
+		}
+		if !machine.CompileJIT(loaded) {
+			t.Fatalf("seed %d: program did not compile", seed)
+		}
+		compiled++
+		starts := make(map[int]bool)
+		for _, pc := range loaded.JITBlockStarts() {
+			starts[pc] = true
+		}
+		if !starts[0] {
+			t.Fatalf("seed %d: entry pc 0 is not a block leader", seed)
+		}
+		for pc, isTarget := range isa.BranchTargets(prog) {
+			if isTarget && !starts[pc] {
+				t.Fatalf("seed %d: jump target %d is not a block leader (leaders %v)",
+					seed, pc, loaded.JITBlockStarts())
+			}
+		}
+	}
+	if compiled == 0 {
+		t.Fatal("no generated program compiled — the property never ran")
+	}
+}
+
+// TestJITStateParity is the dedicated jit-vs-predecoded conformance
+// sweep: same generated corpus the CrossCheck driver uses, but compared
+// head-to-head so a divergence names the jit tier directly. Full final
+// state — registers, stack, context, map arena, retired instruction
+// count, and error text — must match bit-for-bit.
+func TestJITStateParity(t *testing.T) {
+	ctx := jitCtx()
+	executed := 0
+	for seed := uint64(0); seed < 300; seed++ {
+		prog, err := GenProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		fastRegs, fastStack, fastCtx, fastMap, fastInsns, fastErr, loadErr := vmRun(prog, ctx, vm.TierPredecoded)
+		if loadErr != nil {
+			continue
+		}
+		jitRegs, jitStack, jitCtx, jitMap, jitInsns, jitErr, loadErr := vmRun(prog, ctx, vm.TierJIT)
+		if loadErr != nil {
+			t.Fatalf("seed %d: jit load failed after predecoded load succeeded: %v", seed, loadErr)
+		}
+		executed++
+		switch {
+		case (jitErr == nil) != (fastErr == nil):
+			t.Fatalf("seed %d: error divergence: jit=%v fast=%v", seed, jitErr, fastErr)
+		case jitErr != nil && jitErr.Error() != fastErr.Error():
+			t.Fatalf("seed %d: error text divergence:\n  jit : %v\n  fast: %v", seed, jitErr, fastErr)
+		case jitRegs != fastRegs:
+			t.Fatalf("seed %d: register divergence:\n  jit : %x\n  fast: %x", seed, jitRegs, fastRegs)
+		case !bytes.Equal(jitStack, fastStack):
+			t.Fatalf("seed %d: stack divergence", seed)
+		case !bytes.Equal(jitCtx, fastCtx):
+			t.Fatalf("seed %d: context divergence", seed)
+		case !bytes.Equal(jitMap, fastMap):
+			t.Fatalf("seed %d: map state divergence", seed)
+		case jitInsns != fastInsns:
+			t.Fatalf("seed %d: insn count divergence: jit=%d fast=%d", seed, jitInsns, fastInsns)
+		}
+	}
+	if executed == 0 {
+		t.Fatal("no generated program executed — the parity sweep never ran")
+	}
+}
+
+// runWithBudget is vmRun with an explicit instruction budget, for the
+// exhaustion-parity sweep.
+func runWithBudget(prog []isa.Instruction, ctx []byte, tier vm.Tier, budget int) (sink [isa.NumRegs]uint64, stack, runCtx, mapData []byte, insns uint64, runErr error, loadErr error) {
+	machine := vm.New()
+	machine.SetTier(tier)
+	machine.Budget = budget
+	arr := maps.Must(maps.NewArray(GenMapValueSize, GenMapEntries))
+	machine.RegisterMap(arr)
+	loaded, err := machine.Load("difftest", prog)
+	if err != nil {
+		return sink, nil, nil, nil, 0, nil, err
+	}
+	machine.RegSink = &sink
+	runCtx = append([]byte(nil), ctx...)
+	_, runErr = machine.Run(loaded, runCtx)
+	return sink, machine.Stack(), runCtx, arr.Data(), machine.InsnCount, runErr, nil
+}
+
+// TestJITBudgetSweepParity pins the hardest parity property: the jit
+// pre-charges whole blocks and refunds on fault, so every budget from 0
+// to just past the program's full retirement count must land on exactly
+// the wire interpreter's state — same ErrBudget cut at the same
+// instruction, same partial side effects, same retired count.
+func TestJITBudgetSweepParity(t *testing.T) {
+	ctx := jitCtx()
+	swept := 0
+	for seed := uint64(0); seed < 24; seed++ {
+		prog, err := GenProgram(seed)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Full retirement count under an ample budget sizes the sweep.
+		_, _, _, _, full, _, loadErr := vmRun(prog, ctx, vm.TierWire)
+		if loadErr != nil {
+			continue
+		}
+		swept++
+		for budget := 0; budget <= int(full)+4; budget++ {
+			wireRegs, wireStack, wireCtx, wireMap, wireInsns, wireErr, _ := runWithBudget(prog, ctx, vm.TierWire, budget)
+			jitRegs, jitStack, jitCtx, jitMap, jitInsns, jitErr, _ := runWithBudget(prog, ctx, vm.TierJIT, budget)
+			switch {
+			case (jitErr == nil) != (wireErr == nil):
+				t.Fatalf("seed %d budget %d: error divergence: jit=%v wire=%v", seed, budget, jitErr, wireErr)
+			case jitErr != nil && jitErr.Error() != wireErr.Error():
+				t.Fatalf("seed %d budget %d: error text divergence:\n  jit : %v\n  wire: %v", seed, budget, jitErr, wireErr)
+			case jitRegs != wireRegs:
+				t.Fatalf("seed %d budget %d: register divergence:\n  jit : %x\n  wire: %x", seed, budget, jitRegs, wireRegs)
+			case !bytes.Equal(jitStack, wireStack):
+				t.Fatalf("seed %d budget %d: stack divergence", seed, budget)
+			case !bytes.Equal(jitCtx, wireCtx):
+				t.Fatalf("seed %d budget %d: context divergence", seed, budget)
+			case !bytes.Equal(jitMap, wireMap):
+				t.Fatalf("seed %d budget %d: map state divergence", seed, budget)
+			case jitInsns != wireInsns:
+				t.Fatalf("seed %d budget %d: insn count divergence: jit=%d wire=%d", seed, budget, jitInsns, wireInsns)
+			}
+			if budget < int(full) && !errors.Is(jitErr, vm.ErrBudget) {
+				t.Fatalf("seed %d budget %d: want ErrBudget below full retirement (%d), got %v",
+					seed, budget, full, jitErr)
+			}
+		}
+	}
+	if swept == 0 {
+		t.Fatal("no generated program swept — the budget parity sweep never ran")
+	}
+}

@@ -197,6 +197,11 @@ func (p *PerCPUArray) NumCPU() int { return len(p.per) }
 // by control-plane code, mirroring bpf_map_lookup_elem from user space).
 func (p *PerCPUArray) CPUData(cpu int) []byte { return p.per[cpu].Data() }
 
+// CPU returns the i-th private copy itself, for shard goroutines that
+// own one CPU outright and must not share the selector — the same
+// fixed-CPU view PerCPUHash.CPU hands out.
+func (p *PerCPUArray) CPU(i int) *Array { return p.per[i] }
+
 func (p *PerCPUArray) Type() Type                 { return TypePerCPUArray }
 func (p *PerCPUArray) KeySize() int               { return 4 }
 func (p *PerCPUArray) ValueSize() int             { return p.per[0].ValueSize() }

@@ -841,9 +841,21 @@ func (vm *VM) execFast(p *Program, ctx []byte, ps *ProgStats) (uint64, error) {
 	r[isa.R2] = uint64(len(ctx))
 	r[isa.R10] = vm.stackID<<RegionShift + StackSize
 
+	ret, budget, err := vm.fastLoop(p, ps, &r, stk, 0, vm.Budget)
+	vm.InsnCount += uint64(vm.Budget - budget)
+	return ret, err
+}
+
+// fastLoop is the predecoded dispatch loop proper, resumable from any
+// pc with any remaining budget. execFast enters it at pc 0 with the
+// full budget; the JIT driver enters it mid-program when a block's
+// pre-charge would overrun the remaining budget, so partial-retire
+// semantics under exhaustion stay bit-identical to this loop by
+// construction. Returns the exit value, the unspent budget, and the
+// error exactly as the wire loop would report them.
+func (vm *VM) fastLoop(p *Program, ps *ProgStats, rp *[16]uint64, stk []byte, pc, budget int) (uint64, int, error) {
+	r := rp
 	code := p.dec
-	budget := vm.Budget
-	pc := 0
 	var ret uint64
 	var err error
 loop:
@@ -1728,6 +1740,5 @@ loop:
 		}
 		pc++
 	}
-	vm.InsnCount += uint64(vm.Budget - budget)
-	return ret, err
+	return ret, budget, err
 }

@@ -55,9 +55,16 @@ func (vm *VM) runObserved(p *Program, ctx []byte) (uint64, error) {
 	}
 	var ret uint64
 	var err error
-	if vm.wire {
+	switch {
+	case vm.tier == TierWire:
 		ret, err = vm.exec(p, ctx, ps)
-	} else {
+	case vm.tier == TierJIT && ps == nil && !vm.sampled:
+		// Unsampled packets with no per-insn attribution keep the
+		// compiled path even under an attached recorder.
+		ret, err = vm.execJIT(p, ctx)
+	default:
+		// Per-insn attribution and sampled packets run the observed
+		// predecoded loop, exactly as execFast-tier runs do.
 		ret, err = vm.execFast(p, ctx, ps)
 	}
 	var lat uint64

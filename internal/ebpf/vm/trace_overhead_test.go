@@ -29,7 +29,7 @@ func (vm *VM) runBaseline(p *Program, ctx []byte) (ret uint64, err error) {
 		}
 	}()
 	if vm.stats == nil {
-		if vm.wire {
+		if vm.tier == TierWire {
 			return vm.exec(p, ctx, nil)
 		}
 		return vm.execFast(p, ctx, nil)
@@ -37,7 +37,7 @@ func (vm *VM) runBaseline(p *Program, ctx []byte) (ret uint64, err error) {
 	ps := vm.stats.prog(p.name)
 	vm.curProg = ps
 	start := time.Now()
-	if vm.wire {
+	if vm.tier == TierWire {
 		ret, err = vm.exec(p, ctx, ps)
 	} else {
 		ret, err = vm.execFast(p, ctx, ps)

@@ -123,9 +123,10 @@ type VM struct {
 
 	cpu int
 
-	// wire selects the wire-format reference interpreter instead of the
-	// predecoded fast path; the differential suite runs both.
-	wire bool
+	// tier selects the execution tier: the predecoded fast path (the
+	// default), the wire-format reference loop, or the block-compiled
+	// JIT; the differential suite runs all three against each other.
+	tier Tier
 
 	// InsnCount accumulates executed instructions across runs; the
 	// harness uses it for Fig. 1 style behaviour accounting.
@@ -147,6 +148,11 @@ type VM struct {
 	curPkt  uint64
 	curFlow uint32
 
+	// jst is the reusable JIT machine state (register file, stack view,
+	// pending budget refund); owned by execJIT so block closures never
+	// force a per-packet allocation.
+	jst jitState
+
 	// kfuncFault, when set, is consulted before dispatching any kfunc
 	// whose Meta.ErrInject is true (the ALLOW_ERROR_INJECTION surface).
 	// Returning (ret, true) short-circuits the call: the kfunc body
@@ -165,6 +171,7 @@ func New() *VM {
 		kfuncIdx:  make(map[int32]int32),
 		rngState:  0x9e3779b97f4a7c15,
 		Budget:    1 << 22,
+		tier:      DefaultTier(),
 	}
 	vm.stackID = vm.allocRegion(make([]byte, StackSize), true)
 	vm.ctxID = vm.allocRegion(nil, true)
@@ -501,6 +508,47 @@ func (vm *VM) store(ptr uint64, size int, val uint64) error {
 	return nil
 }
 
+// Tier selects which execution engine Run uses for a VM.
+type Tier uint8
+
+const (
+	// TierPredecoded is the default: the flat-IR jump-table interpreter.
+	TierPredecoded Tier = iota
+	// TierWire is the wire-format reference loop, re-decoding every
+	// instruction from the raw encoding — the independently-simple slow
+	// path the differential suite compares everything against.
+	TierWire
+	// TierJIT executes basic blocks compiled to threaded Go closures:
+	// no per-instruction dispatch, branches resolved to direct
+	// next-block pointers. Compiled lazily on first run; programs the
+	// compiler refuses fall back to the predecoded loop.
+	TierJIT
+)
+
+// String names the tier the way the CLIs spell it (-interp).
+func (t Tier) String() string {
+	switch t {
+	case TierWire:
+		return "wire"
+	case TierJIT:
+		return "jit"
+	}
+	return "predecoded"
+}
+
+// ParseTier parses a CLI tier name.
+func ParseTier(s string) (Tier, error) {
+	switch s {
+	case "wire":
+		return TierWire, nil
+	case "predecoded", "fast", "":
+		return TierPredecoded, nil
+	case "jit":
+		return TierJIT, nil
+	}
+	return 0, fmt.Errorf("vm: unknown interpreter tier %q (wire|predecoded|jit)", s)
+}
+
 // Program is a verified, loaded program with map references resolved
 // and the predecoded fast-path stream attached.
 type Program struct {
@@ -508,6 +556,12 @@ type Program struct {
 	dec   []decodedInsn
 	fused int
 	name  string
+
+	// jit is the block-compiled form, built lazily on the first
+	// TierJIT run (jitTried latches the attempt so refusals don't
+	// recompile per packet).
+	jit      *jitProg
+	jitTried bool
 }
 
 // Name returns the program's name.
@@ -552,14 +606,37 @@ func (vm *VM) Load(name string, prog []isa.Instruction) (*Program, error) {
 }
 
 // SetWireInterp selects (true) or deselects (false) the wire-format
-// reference interpreter for this VM. The default is the predecoded
-// fast path; the wire loop re-decodes every instruction from the raw
-// encoding and exists as the independently-simple slow path the
-// differential suite compares against.
-func (vm *VM) SetWireInterp(on bool) { vm.wire = on }
+// reference interpreter for this VM — the two-state compatibility
+// surface over SetTier. Deselecting returns to the predecoded default.
+func (vm *VM) SetWireInterp(on bool) {
+	if on {
+		vm.tier = TierWire
+	} else {
+		vm.tier = TierPredecoded
+	}
+}
 
 // WireInterp reports whether the wire-format loop is selected.
-func (vm *VM) WireInterp() bool { return vm.wire }
+func (vm *VM) WireInterp() bool { return vm.tier == TierWire }
+
+// SetTier selects the execution tier for this VM.
+func (vm *VM) SetTier(t Tier) { vm.tier = t }
+
+// Tier returns the selected execution tier.
+func (vm *VM) Tier() Tier { return vm.tier }
+
+// defaultTier is the package-wide tier New applies to fresh VMs — the
+// hook behind the CLIs' -interp flag, set once at startup before any
+// NF is built. Atomic because sharded harnesses construct VMs from
+// concurrent goroutines.
+var defaultTier atomic.Uint32
+
+// SetDefaultTier selects the tier every subsequently created VM starts
+// on. Individual VMs can still override it with SetTier.
+func SetDefaultTier(t Tier) { defaultTier.Store(uint32(t)) }
+
+// DefaultTier reports the package-wide starting tier.
+func DefaultTier() Tier { return Tier(defaultTier.Load()) }
 
 // Run executes prog with ctx as the packet/context memory. It returns
 // the program's R0 (the XDP verdict for datapath programs). With stats
@@ -582,8 +659,11 @@ func (vm *VM) Run(p *Program, ctx []byte) (ret uint64, err error) {
 		}
 	}()
 	if vm.stats == nil && vm.rec == nil {
-		if vm.wire {
+		switch vm.tier {
+		case TierWire:
 			return vm.exec(p, ctx, nil)
+		case TierJIT:
+			return vm.execJIT(p, ctx)
 		}
 		return vm.execFast(p, ctx, nil)
 	}

@@ -136,10 +136,14 @@ func BenchmarkDispatch(b *testing.B) {
 		}},
 	}
 	for _, mix := range mixes {
-		for _, mode := range []string{"wire", "predecoded"} {
+		for _, mode := range []string{"wire", "predecoded", "jit"} {
 			b.Run(mix.name+"/"+mode, func(b *testing.B) {
 				m := vm.New()
-				m.SetWireInterp(mode == "wire")
+				tier, err := vm.ParseTier(mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				m.SetTier(tier)
 				bb := asm.New()
 				mix.build(bb)
 				prog, err := m.Load(mix.name, bb.MustProgram())

@@ -1,12 +1,13 @@
-// Package vmbench measures the predecoded fast-path interpreter
-// against the wire-format reference loop: the Fig. 3-style instruction
-// micro-benchmarks (dispatch mixes, helper/kfunc call paths, map
-// lookups) and the Fig. 3 NF catalog in its eBPF flavour. Every
-// comparison runs the two modes interleaved within one invocation,
-// best-of-N samples each, because on a shared host the noise between
-// invocations dwarfs the effect under measurement; only adjacent
-// min-of-N samples are comparable. cmd/vmbench renders the results and
-// writes the committed BENCH_vm.json artifact.
+// Package vmbench measures the three interpreter tiers — wire-format
+// reference loop, predecoded fast path, and the block-compiled jit —
+// against each other: the Fig. 3-style instruction micro-benchmarks
+// (dispatch mixes, helper/kfunc call paths, map lookups) and the
+// Fig. 3 NF catalog in its eBPF flavour. Every comparison runs the
+// tiers interleaved within one invocation, best-of-N samples each,
+// because on a shared host the noise between invocations dwarfs the
+// effect under measurement; only adjacent min-of-N samples are
+// comparable. cmd/vmbench renders the results and writes the committed
+// BENCH_vm.json artifact.
 package vmbench
 
 import (
@@ -45,32 +46,39 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// MicroResult compares the two interpreter loops on one micro-benchmark.
+// MicroResult compares the three interpreter tiers on one
+// micro-benchmark. Both speedups are relative to the wire loop.
 type MicroResult struct {
-	Name    string  `json:"name"`
-	WireNs  float64 `json:"wire_ns_per_op"`
-	FastNs  float64 `json:"predecoded_ns_per_op"`
-	Speedup float64 `json:"speedup"`
+	Name        string  `json:"name"`
+	WireNs      float64 `json:"wire_ns_per_op"`
+	FastNs      float64 `json:"predecoded_ns_per_op"`
+	JitNs       float64 `json:"jit_ns_per_op"`
+	FastSpeedup float64 `json:"predecoded_speedup"`
+	JitSpeedup  float64 `json:"jit_speedup"`
 }
 
-// NFResult compares the loops on one Fig. 3 NF (eBPF flavour), plus
-// the eNetSTL flavour on the fast path for the cross-flavour ordering.
+// NFResult compares the tiers on one Fig. 3 NF (eBPF flavour), plus
+// the eNetSTL flavour on the jit tier for the cross-flavour ordering.
+// Both speedups are relative to the wire loop.
 type NFResult struct {
 	NF            string  `json:"nf"`
 	WirePPS       float64 `json:"ebpf_wire_pps"`
 	FastPPS       float64 `json:"ebpf_predecoded_pps"`
-	Speedup       float64 `json:"speedup"`
-	ENetSTLPPS    float64 `json:"enetstl_predecoded_pps"`
+	JitPPS        float64 `json:"ebpf_jit_pps"`
+	FastSpeedup   float64 `json:"predecoded_speedup"`
+	JitSpeedup    float64 `json:"jit_speedup"`
+	ENetSTLPPS    float64 `json:"enetstl_jit_pps"`
 	ENetSTLvsEBPF float64 `json:"enetstl_vs_ebpf"`
 }
 
 // Report is the full artifact committed as BENCH_vm.json.
 type Report struct {
-	Note         string        `json:"note"`
-	GoMaxProcs   int           `json:"gomaxprocs"`
-	Micro        []MicroResult `json:"micro"`
-	MicroGeomean float64       `json:"micro_geomean_speedup"`
-	Fig3         []NFResult    `json:"fig3_ebpf"`
+	Note            string        `json:"note"`
+	GoMaxProcs      int           `json:"gomaxprocs"`
+	Micro           []MicroResult `json:"micro"`
+	MicroGeomean    float64       `json:"micro_geomean_predecoded_speedup"`
+	MicroJitGeomean float64       `json:"micro_geomean_jit_speedup"`
+	Fig3            []NFResult    `json:"fig3_ebpf"`
 }
 
 // micro is one generated-program benchmark: prep readies the VM
@@ -194,23 +202,25 @@ func sampleProg(m *vm.VM, prog *vm.Program, sampleMs int) (float64, error) {
 	}
 }
 
-// RunMicros measures every micro-benchmark, wire vs predecoded
-// interleaved, best of cfg.Reps samples each.
-func RunMicros(cfg Config) ([]MicroResult, float64, error) {
+// RunMicros measures every micro-benchmark across all three tiers
+// interleaved, best of cfg.Reps samples each. It returns the results
+// plus the geomean predecoded-vs-wire and jit-vs-wire speedups.
+func RunMicros(cfg Config) ([]MicroResult, float64, float64, error) {
 	cfg = cfg.withDefaults()
 	var out []MicroResult
-	logSum := 0.0
+	fastLogSum, jitLogSum := 0.0, 0.0
 	for _, mc := range micros() {
-		build := func(wire bool) (*vm.VM, *vm.Program, error) {
+		build := func(tier vm.Tier) (*vm.VM, *vm.Program, error) {
 			m := vm.New()
-			m.SetWireInterp(wire)
+			m.SetTier(tier)
 			bb := asm.New()
 			mc.prep(m)(bb)
 			prog, err := m.Load(mc.name, bb.MustProgram())
 			if err != nil {
 				return nil, nil, fmt.Errorf("%s: %w", mc.name, err)
 			}
-			// Warm up: steady-state regions, branch history, caches.
+			// Warm up: steady-state regions, branch history, caches,
+			// and (on the jit tier) the lazy block compile.
 			for i := 0; i < 4; i++ {
 				if _, err := m.Run(prog, nil); err != nil {
 					return nil, nil, fmt.Errorf("%s: %w", mc.name, err)
@@ -218,32 +228,41 @@ func RunMicros(cfg Config) ([]MicroResult, float64, error) {
 			}
 			return m, prog, nil
 		}
-		wm, wp, err := build(true)
+		wm, wp, err := build(vm.TierWire)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
-		fm, fp, err := build(false)
+		fm, fp, err := build(vm.TierPredecoded)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
-		res := MicroResult{Name: mc.name, WireNs: math.Inf(1), FastNs: math.Inf(1)}
+		jm, jp, err := build(vm.TierJIT)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		res := MicroResult{
+			Name: mc.name, WireNs: math.Inf(1), FastNs: math.Inf(1), JitNs: math.Inf(1)}
 		for rep := 0; rep < cfg.Reps; rep++ {
-			w, err := sampleProg(wm, wp, cfg.SampleMs)
-			if err != nil {
-				return nil, 0, err
+			for _, s := range []struct {
+				m    *vm.VM
+				p    *vm.Program
+				best *float64
+			}{{wm, wp, &res.WireNs}, {fm, fp, &res.FastNs}, {jm, jp, &res.JitNs}} {
+				ns, err := sampleProg(s.m, s.p, cfg.SampleMs)
+				if err != nil {
+					return nil, 0, 0, err
+				}
+				*s.best = math.Min(*s.best, ns)
 			}
-			f, err := sampleProg(fm, fp, cfg.SampleMs)
-			if err != nil {
-				return nil, 0, err
-			}
-			res.WireNs = math.Min(res.WireNs, w)
-			res.FastNs = math.Min(res.FastNs, f)
 		}
-		res.Speedup = res.WireNs / res.FastNs
-		logSum += math.Log(res.Speedup)
+		res.FastSpeedup = res.WireNs / res.FastNs
+		res.JitSpeedup = res.WireNs / res.JitNs
+		fastLogSum += math.Log(res.FastSpeedup)
+		jitLogSum += math.Log(res.JitSpeedup)
 		out = append(out, res)
 	}
-	return out, math.Exp(logSum / float64(len(out))), nil
+	n := float64(len(out))
+	return out, math.Exp(fastLogSum / n), math.Exp(jitLogSum / n), nil
 }
 
 // Fig3NFs lists the NF catalog entries behind the Fig. 3 panels that
@@ -268,9 +287,9 @@ func sampleTrace(inst nf.Instance, trace *pktgen.Trace) (float64, error) {
 	return float64(len(trace.Packets)) / time.Since(start).Seconds(), nil
 }
 
-// RunFig3 measures every Fig. 3 NF in the eBPF flavour on both
-// interpreter loops (interleaved, best of cfg.Reps passes) plus the
-// eNetSTL flavour on the fast path, for the cross-flavour ordering.
+// RunFig3 measures every Fig. 3 NF in the eBPF flavour on all three
+// interpreter tiers (interleaved, best of cfg.Reps passes) plus the
+// eNetSTL flavour on the jit tier, for the cross-flavour ordering.
 func RunFig3(cfg Config) ([]NFResult, error) {
 	cfg = cfg.withDefaults()
 	var out []NFResult
@@ -278,7 +297,7 @@ func RunFig3(cfg Config) ([]NFResult, error) {
 		trace := pktgen.Generate(pktgen.Config{
 			Flows: 512, Packets: cfg.Packets, ZipfS: 1.1, Seed: int64(8600 + seed)})
 		nfcatalog.PrepareTrace(name, trace)
-		build := func(flavor nf.Flavor, wire bool) (nf.Instance, *pktgen.Trace, error) {
+		build := func(flavor nf.Flavor, tier vm.Tier) (nf.Instance, *pktgen.Trace, error) {
 			tr := trace.Clone()
 			inst, err := nfcatalog.Build(name, flavor, tr)
 			if err != nil {
@@ -288,21 +307,25 @@ func RunFig3(cfg Config) ([]NFResult, error) {
 			if !ok || v.VM() == nil {
 				return nil, nil, fmt.Errorf("%s/%v: not VM-backed", name, flavor)
 			}
-			v.VM().SetWireInterp(wire)
+			v.VM().SetTier(tier)
 			if _, err := sampleTrace(inst, tr); err != nil { // warm-up pass
 				return nil, nil, err
 			}
 			return inst, tr, nil
 		}
-		wi, wt, err := build(nf.EBPF, true)
+		wi, wt, err := build(nf.EBPF, vm.TierWire)
 		if err != nil {
 			return nil, err
 		}
-		fi, ft, err := build(nf.EBPF, false)
+		fi, ft, err := build(nf.EBPF, vm.TierPredecoded)
 		if err != nil {
 			return nil, err
 		}
-		ei, et, err := build(nf.ENetSTL, false)
+		ji, jt, err := build(nf.EBPF, vm.TierJIT)
+		if err != nil {
+			return nil, err
+		}
+		ei, et, err := build(nf.ENetSTL, vm.TierJIT)
 		if err != nil {
 			return nil, err
 		}
@@ -312,7 +335,8 @@ func RunFig3(cfg Config) ([]NFResult, error) {
 				inst  nf.Instance
 				trace *pktgen.Trace
 				best  *float64
-			}{{wi, wt, &res.WirePPS}, {fi, ft, &res.FastPPS}, {ei, et, &res.ENetSTLPPS}} {
+			}{{wi, wt, &res.WirePPS}, {fi, ft, &res.FastPPS},
+				{ji, jt, &res.JitPPS}, {ei, et, &res.ENetSTLPPS}} {
 				pps, err := sampleTrace(s.inst, s.trace)
 				if err != nil {
 					return nil, err
@@ -320,8 +344,9 @@ func RunFig3(cfg Config) ([]NFResult, error) {
 				*s.best = math.Max(*s.best, pps)
 			}
 		}
-		res.Speedup = res.FastPPS / res.WirePPS
-		res.ENetSTLvsEBPF = res.ENetSTLPPS / res.FastPPS
+		res.FastSpeedup = res.FastPPS / res.WirePPS
+		res.JitSpeedup = res.JitPPS / res.WirePPS
+		res.ENetSTLvsEBPF = res.ENetSTLPPS / res.JitPPS
 		out = append(out, res)
 	}
 	return out, nil

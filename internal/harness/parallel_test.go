@@ -195,3 +195,99 @@ func TestParallelEstimatorBounds(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelRunPerCPUSketch is the per-CPU counter-matrix contract:
+// sketch shards built over one shared PerCPUArray (each shard a
+// private copy, concurrent goroutines, no shared arenas), estimates
+// read by merge-on-read aggregation. Count-min is deterministic and
+// its counters split additively under hash partitioning, so the merged
+// estimate must be bit-identical at every shard count; NitroSketch's
+// shards draw independent sampling streams, so its merged estimate is
+// held to the unbiased-overestimate error envelope instead.
+func TestParallelRunPerCPUSketch(t *testing.T) {
+	const trials = 2
+	const passes = trials + 1 // one untallied warm-up plus measured trials
+	trace := pktgen.Generate(pktgen.Config{
+		Flows: 128, Packets: 2000, ZipfS: 1.1, Seed: 42})
+	exact := make([]uint64, len(trace.FlowKeys))
+	for _, f := range trace.FlowOf {
+		exact[f]++
+	}
+
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		t.Run("cmsketch/"+flavor.String(), func(t *testing.T) {
+			var base []uint32
+			for _, shards := range []int{1, 2, 4} {
+				sh, err := nfcatalog.NewShardedPerCPU("cmsketch", flavor, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := harness.ParallelRun(trace.Clone(), shards, sh.Build, trials); err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				if p := sh.PerCPUMatrix(); p == nil || p.NumCPU() != shards {
+					t.Fatalf("shards=%d: per-CPU matrix missing or mis-sized", shards)
+				}
+				ests := make([]uint32, len(trace.FlowKeys))
+				for f := range trace.FlowKeys {
+					key := trace.FlowKeys[f]
+					est, ok := sh.Estimate(key[:])
+					if !ok {
+						t.Fatal("per-cpu cmsketch exposes no estimator")
+					}
+					if uint64(est) < passes*exact[f] {
+						t.Fatalf("shards=%d flow %d: merged estimate %d below true count %d",
+							shards, f, est, passes*exact[f])
+					}
+					ests[f] = est
+				}
+				if shards == 1 {
+					base = ests
+					continue
+				}
+				for f := range ests {
+					if ests[f] != base[f] {
+						t.Fatalf("shards=%d flow %d: merged estimate %d, want shard-count-invariant %d",
+							shards, f, ests[f], base[f])
+					}
+				}
+			}
+		})
+	}
+
+	for _, flavor := range []nf.Flavor{nf.Kernel, nf.EBPF, nf.ENetSTL} {
+		t.Run("nitrosketch/"+flavor.String(), func(t *testing.T) {
+			for _, shards := range []int{1, 2, 4} {
+				sh, err := nfcatalog.NewShardedPerCPU("nitrosketch", flavor, shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := harness.ParallelRun(trace.Clone(), shards, sh.Build, trials); err != nil {
+					t.Fatalf("shards=%d: %v", shards, err)
+				}
+				// Metamorphic envelope: each per-row reading is an unbiased
+				// sample-scaled count, but the row minimum biases low, so the
+				// envelope is generous — a quarter of the truth below, twice
+				// the truth plus noise allowance above. It catches the real
+				// failure modes (copies not merged: estimates collapse toward
+				// one shard's share; double counting: estimates explode)
+				// without pinning sampling luck.
+				for f := range trace.FlowKeys {
+					if exact[f] < 64 {
+						continue // tiny flows drown in sampling noise
+					}
+					key := trace.FlowKeys[f]
+					est, ok := sh.Estimate(key[:])
+					if !ok {
+						t.Fatal("per-cpu nitrosketch exposes no estimator")
+					}
+					truth := passes * exact[f]
+					if uint64(est) < truth/4 || uint64(est) > 2*truth+1024 {
+						t.Fatalf("shards=%d flow %d: merged estimate %d outside envelope of true %d",
+							shards, f, est, truth)
+					}
+				}
+			}
+		})
+	}
+}

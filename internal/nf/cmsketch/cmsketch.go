@@ -87,28 +87,101 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 		}}
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
-		machine := vm.New()
-		s.arr = maps.Must(maps.NewArray(cfg.Rows*cfg.Width*4, 1))
-		fd := machine.RegisterMap(s.arr)
-		var b *asm.Builder
-		if flavor == nf.EBPF {
-			b = buildEBPF(fd, cfg)
-		} else {
-			core.Attach(machine, core.Config{})
-			b = buildENetSTL(fd, cfg)
-		}
-		ins, err := b.Program()
-		if err != nil {
-			return nil, fmt.Errorf("cmsketch: assemble: %w", err)
-		}
-		p, err := verifier.LoadAndVerify(machine, "cmsketch", ins, verifier.Options{CtxSize: nf.PktSize})
-		if err != nil {
-			return nil, err
-		}
-		s.Instance = nf.NewVMInstance("cmsketch", flavor, machine, p)
-		return s, nil
+		return newVM(flavor, cfg, maps.Must(maps.NewArray(cfg.Rows*cfg.Width*4, 1)))
 	}
 	return nil, fmt.Errorf("cmsketch: unknown flavor %v", flavor)
+}
+
+// newVM builds a bytecode flavour over an explicit counter matrix —
+// either a freshly allocated private one (New) or one CPU's copy of a
+// shared per-CPU map (NewOnCPU).
+func newVM(flavor nf.Flavor, cfg Config, arr *maps.Array) (*Sketch, error) {
+	s := &Sketch{cfg: cfg, arr: arr}
+	machine := vm.New()
+	fd := machine.RegisterMap(arr)
+	var b *asm.Builder
+	if flavor == nf.EBPF {
+		b = buildEBPF(fd, cfg)
+	} else {
+		core.Attach(machine, core.Config{})
+		b = buildENetSTL(fd, cfg)
+	}
+	ins, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("cmsketch: assemble: %w", err)
+	}
+	p, err := verifier.LoadAndVerify(machine, "cmsketch", ins, verifier.Options{CtxSize: nf.PktSize})
+	if err != nil {
+		return nil, err
+	}
+	s.Instance = nf.NewVMInstance("cmsketch", flavor, machine, p)
+	return s, nil
+}
+
+// NewOnCPU builds the sketch NF over one CPU's private copy of a shared
+// per-CPU counter matrix — the BPF_MAP_TYPE_PERCPU_ARRAY deployment
+// shape, where every RSS shard increments its own copy lock-free and
+// cross-shard estimates come from merge-on-read aggregation
+// (EstimatePerCPU), never from shared datapath state. The Kernel
+// flavour writes the same arena natively so all three flavours share
+// one merged-read path.
+func NewOnCPU(flavor nf.Flavor, p *maps.PerCPUArray, cpu int, cfg Config) (*Sketch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("cmsketch: nil per-cpu matrix")
+	}
+	if cpu < 0 || cpu >= p.NumCPU() {
+		return nil, fmt.Errorf("cmsketch: cpu %d outside matrix's %d copies", cpu, p.NumCPU())
+	}
+	if p.ValueSize() != cfg.Rows*cfg.Width*4 || p.MaxEntries() != 1 {
+		return nil, fmt.Errorf("cmsketch: per-cpu matrix shape %dx%d does not fit rows=%d width=%d",
+			p.MaxEntries(), p.ValueSize(), cfg.Rows, cfg.Width)
+	}
+	arr := p.CPU(cpu)
+	if flavor != nf.Kernel {
+		return newVM(flavor, cfg, arr)
+	}
+	s := &Sketch{cfg: cfg, arr: arr}
+	m := cfg.matrix()
+	data := arr.Data()
+	s.Instance = &nf.NativeInstance{NFName: "cmsketch", Fn: func(pkt []byte) uint64 {
+		key := pkt[nf.OffKey : nf.OffKey+nf.KeyLen]
+		for i := 0; i < cfg.Rows; i++ {
+			h := nhash.FastHash32(key, nhash.Seed(i))
+			j := (i*cfg.Width + int(h&m.Mask)) * 4
+			c := uint32(data[j]) | uint32(data[j+1])<<8 | uint32(data[j+2])<<16 | uint32(data[j+3])<<24
+			c++
+			data[j], data[j+1], data[j+2], data[j+3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+		}
+		return vm.XDPDrop
+	}}
+	return s, nil
+}
+
+// EstimatePerCPU is the merge-on-read estimate over a shared per-CPU
+// counter matrix: for each row the probed counter is summed across
+// every CPU's copy (the userspace bpf_map_lookup_elem fold), then the
+// count-min minimum is taken over the merged rows. Hash-partitioning a
+// stream splits every counter into per-shard addends, so the merged
+// estimate is exactly the single-shard estimate at any shard count.
+func EstimatePerCPU(p *maps.PerCPUArray, cfg Config, key []byte) uint32 {
+	m := cfg.matrix()
+	min := ^uint32(0)
+	for i := 0; i < cfg.Rows; i++ {
+		h := nhash.FastHash32(key, nhash.Seed(i))
+		j := (i*cfg.Width + int(h&m.Mask)) * 4
+		var sum uint32
+		for c := 0; c < p.NumCPU(); c++ {
+			d := p.CPUData(c)
+			sum += uint32(d[j]) | uint32(d[j+1])<<8 | uint32(d[j+2])<<16 | uint32(d[j+3])<<24
+		}
+		if sum < min {
+			min = sum
+		}
+	}
+	return min
 }
 
 // Estimate returns the count-min estimate for key (control-plane read).

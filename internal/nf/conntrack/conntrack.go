@@ -130,6 +130,15 @@ func NewOnCPU(flavor nf.Flavor, p *maps.PerCPULRUHash, cpu int) (*Tracker, error
 // map is reached through the VM).
 func (t *Tracker) Map() maps.ArenaMap { return t.m }
 
+// VM exposes the backing interpreter so harness and tier plumbing see
+// through the Tracker; nil for the kernel flavour.
+func (t *Tracker) VM() *vm.VM {
+	if v, ok := t.Instance.(interface{ VM() *vm.VM }); ok {
+		return v.VM()
+	}
+	return nil
+}
+
 // SetMap swaps the backing map, letting harnesses decorate it with a
 // fault-injecting wrapper.
 func (t *Tracker) SetMap(m maps.ArenaMap) { t.m = m }

@@ -86,7 +86,6 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 		return nil, err
 	}
 	s := &Sketch{cfg: cfg}
-	selMask := uint32(1)<<cfg.ProbLog2 - 1
 	inc := uint32(1) << cfg.ProbLog2
 	wMask := uint32(cfg.Width - 1)
 	switch flavor {
@@ -110,37 +109,123 @@ func New(flavor nf.Flavor, cfg Config) (*Sketch, error) {
 		}}
 		return s, nil
 	case nf.EBPF, nf.ENetSTL:
-		machine := vm.New()
-		s.arr = maps.Must(maps.NewArray(cfg.Rows*cfg.Width*4, 1))
-		fd := machine.RegisterMap(s.arr)
-		var b *asm.Builder
-		if flavor == nf.EBPF {
-			b = buildEBPF(fd, cfg, selMask, inc)
-		} else {
-			core.Attach(machine, core.Config{})
-			// State: [rel u64][geo handle u64]: rel is the offset of the
-			// next selected (packet,row) pair relative to this packet.
-			state := maps.Must(maps.NewArray(16, 1))
-			stateFD := machine.RegisterMap(state)
-			geo := rpool.Must(rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed))
-			h := machine.AllocHandle(geo)
-			d := state.Data()
-			putLE64(d[0:], uint64(geo.Next())-1) // rel
-			putLE64(d[8:], h)                    // handle
-			b = buildENetSTL(fd, stateFD, cfg, inc)
-		}
-		ins, err := b.Program()
-		if err != nil {
-			return nil, fmt.Errorf("nitrosketch: assemble: %w", err)
-		}
-		p, err := verifier.LoadAndVerify(machine, "nitrosketch", ins, verifier.Options{CtxSize: nf.PktSize})
-		if err != nil {
-			return nil, err
-		}
-		s.Instance = nf.NewVMInstance("nitrosketch", flavor, machine, p)
-		return s, nil
+		return newVM(flavor, cfg, maps.Must(maps.NewArray(cfg.Rows*cfg.Width*4, 1)))
 	}
 	return nil, fmt.Errorf("nitrosketch: unknown flavor %v", flavor)
+}
+
+// newVM builds a bytecode flavour over an explicit counter matrix —
+// either a freshly allocated private one (New) or one CPU's copy of a
+// shared per-CPU map (NewOnCPU). The geo state map and pool handle are
+// always private to the instance: the sampling cursor is per-CPU state.
+func newVM(flavor nf.Flavor, cfg Config, arr *maps.Array) (*Sketch, error) {
+	s := &Sketch{cfg: cfg, arr: arr}
+	selMask := uint32(1)<<cfg.ProbLog2 - 1
+	inc := uint32(1) << cfg.ProbLog2
+	machine := vm.New()
+	fd := machine.RegisterMap(arr)
+	var b *asm.Builder
+	if flavor == nf.EBPF {
+		b = buildEBPF(fd, cfg, selMask, inc)
+	} else {
+		core.Attach(machine, core.Config{})
+		// State: [rel u64][geo handle u64]: rel is the offset of the
+		// next selected (packet,row) pair relative to this packet.
+		state := maps.Must(maps.NewArray(16, 1))
+		stateFD := machine.RegisterMap(state)
+		geo := rpool.Must(rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed))
+		h := machine.AllocHandle(geo)
+		d := state.Data()
+		putLE64(d[0:], uint64(geo.Next())-1) // rel
+		putLE64(d[8:], h)                    // handle
+		b = buildENetSTL(fd, stateFD, cfg, inc)
+	}
+	ins, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("nitrosketch: assemble: %w", err)
+	}
+	p, err := verifier.LoadAndVerify(machine, "nitrosketch", ins, verifier.Options{CtxSize: nf.PktSize})
+	if err != nil {
+		return nil, err
+	}
+	s.Instance = nf.NewVMInstance("nitrosketch", flavor, machine, p)
+	return s, nil
+}
+
+// NewOnCPU builds the NF over one CPU's private copy of a shared
+// per-CPU counter matrix (BPF_MAP_TYPE_PERCPU_ARRAY): each RSS shard
+// increments its own copy lock-free and cross-shard estimates come from
+// merge-on-read aggregation (EstimatePerCPU). Each shard draws from its
+// own sampling stream (its private geo pool or VM helper RNG), exactly
+// as per-CPU kernel deployments do, so merged estimates carry the usual
+// NitroSketch error bounds rather than bit-exact shard invariance.
+func NewOnCPU(flavor nf.Flavor, p *maps.PerCPUArray, cpu int, cfg Config) (*Sketch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, fmt.Errorf("nitrosketch: nil per-cpu matrix")
+	}
+	if cpu < 0 || cpu >= p.NumCPU() {
+		return nil, fmt.Errorf("nitrosketch: cpu %d outside matrix's %d copies", cpu, p.NumCPU())
+	}
+	if p.ValueSize() != cfg.Rows*cfg.Width*4 || p.MaxEntries() != 1 {
+		return nil, fmt.Errorf("nitrosketch: per-cpu matrix shape %dx%d does not fit rows=%d width=%d",
+			p.MaxEntries(), p.ValueSize(), cfg.Rows, cfg.Width)
+	}
+	arr := p.CPU(cpu)
+	if flavor != nf.Kernel {
+		return newVM(flavor, cfg, arr)
+	}
+	s := &Sketch{cfg: cfg, arr: arr}
+	inc := uint32(1) << cfg.ProbLog2
+	wMask := uint32(cfg.Width - 1)
+	// Offset the seed by CPU so shards draw independent sampling
+	// streams, the way independent per-CPU pools would.
+	s.geo = rpool.Must(rpool.NewGeoPool(poolSize, prob(cfg.ProbLog2), geoSeed+uint64(cpu)))
+	s.next = uint64(s.geo.Next()) - 1
+	rows := uint64(cfg.Rows)
+	data := arr.Data()
+	s.Instance = &nf.NativeInstance{NFName: "nitrosketch", Fn: func(pkt []byte) uint64 {
+		key := pkt[nf.OffKey : nf.OffKey+nf.KeyLen]
+		base := s.cnt * rows
+		lim := base + rows
+		s.cnt++
+		for s.next < lim {
+			row := int(s.next - base)
+			h := nhash.FastHash32(key, nhash.Seed(row))
+			j := (row*cfg.Width + int(h&wMask)) * 4
+			c := uint32(data[j]) | uint32(data[j+1])<<8 | uint32(data[j+2])<<16 | uint32(data[j+3])<<24
+			c += inc
+			data[j], data[j+1], data[j+2], data[j+3] = byte(c), byte(c>>8), byte(c>>16), byte(c>>24)
+			s.next += uint64(s.geo.Next())
+		}
+		return vm.XDPDrop
+	}}
+	return s, nil
+}
+
+// EstimatePerCPU is the merge-on-read estimate over a shared per-CPU
+// counter matrix: per-row counters are summed across every CPU's copy,
+// then the minimum is taken over the merged rows (see
+// cmsketch.EstimatePerCPU). Summing unbiased per-shard estimators over
+// a hash-partitioned stream keeps the estimate unbiased.
+func EstimatePerCPU(p *maps.PerCPUArray, cfg Config, key []byte) uint32 {
+	wMask := uint32(cfg.Width - 1)
+	min := ^uint32(0)
+	for i := 0; i < cfg.Rows; i++ {
+		h := nhash.FastHash32(key, nhash.Seed(i))
+		j := (i*cfg.Width + int(h&wMask)) * 4
+		var sum uint32
+		for c := 0; c < p.NumCPU(); c++ {
+			d := p.CPUData(c)
+			sum += uint32(d[j]) | uint32(d[j+1])<<8 | uint32(d[j+2])<<16 | uint32(d[j+3])<<24
+		}
+		if sum < min {
+			min = sum
+		}
+	}
+	return min
 }
 
 // Estimate returns the sketch estimate for key.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/nf"
 	"enetstl/internal/pktgen"
 )
@@ -133,6 +134,59 @@ func ImplDiffCases(cfg DiffConfig) ([]ImplDiffCase, error) {
 					return nil, fmt.Errorf("impl diff case %s/%v/%v: %w", name, fl, impl, err)
 				}
 				c.Impls = append(c.Impls, impl)
+				c.Insts = append(c.Insts, b.inst)
+				c.Traces = append(c.Traces, trace)
+				c.Estimates = append(c.Estimates, b.est)
+			}
+			cases = append(cases, c)
+		}
+	}
+	return cases, nil
+}
+
+// InterpDiffCase is one VM-backed NF×flavour built once per interpreter
+// tier over bit-identical trace clones — the execution-tier conformance
+// axis, orthogonal to both the flavour axis (DiffCase) and the map-core
+// axis (ImplDiffCase). The contract is exact for every NF, sampling
+// sketches included: the tiers execute the same program over the same
+// helper tables and RNG streams, so any verdict or estimator difference
+// is an interpreter bug, not noise.
+type InterpDiffCase struct {
+	Name      string // "cmsketch/ebpf"
+	Tiers     []vm.Tier
+	Insts     []nf.Instance
+	Traces    []*pktgen.Trace
+	Estimates []func(key []byte) uint32
+}
+
+// InterpDiffCases builds every registered NF in every VM-backed flavour
+// three times — once per interpreter tier (predecoded, wire, jit) —
+// each build on its own clone of the same canonical trace, with the
+// tier pinned on the instance's VM. The Kernel flavour runs native Go
+// with no interpreter to vary, so it is excluded.
+func InterpDiffCases(cfg DiffConfig) ([]InterpDiffCase, error) {
+	cfg = cfg.norm()
+	var cases []InterpDiffCase
+	for _, name := range Names() {
+		canon := pktgen.Generate(pktgen.Config{
+			Flows: cfg.Flows, Packets: cfg.Packets, ZipfS: cfg.ZipfS, Seed: cfg.Seed})
+		for _, fl := range SupportedFlavors(name) {
+			if fl == nf.Kernel {
+				continue
+			}
+			c := InterpDiffCase{Name: fmt.Sprintf("%s/%v", name, fl)}
+			for _, tier := range []vm.Tier{vm.TierPredecoded, vm.TierWire, vm.TierJIT} {
+				trace := canon.Clone()
+				b, err := buildFull(name, fl, trace)
+				if err != nil {
+					return nil, fmt.Errorf("interp diff case %s/%v/%v: %w", name, fl, tier, err)
+				}
+				v, ok := b.inst.(interface{ VM() *vm.VM })
+				if !ok || v.VM() == nil {
+					return nil, fmt.Errorf("interp diff case %s/%v: flavour is not VM-backed", name, fl)
+				}
+				v.VM().SetTier(tier)
+				c.Tiers = append(c.Tiers, tier)
 				c.Insts = append(c.Insts, b.inst)
 				c.Traces = append(c.Traces, trace)
 				c.Estimates = append(c.Estimates, b.est)

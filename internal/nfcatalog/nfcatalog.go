@@ -360,6 +360,13 @@ type Sharded struct {
 	// percpu, when set, is the shared per-CPU flow table conntrack
 	// shards take private copies of (see NewShardedPerCPU).
 	percpu *maps.PerCPULRUHash
+	// percpuArr, when set, is the shared per-CPU counter matrix the
+	// sketch shards take private copies of; buildCPU constructs one
+	// shard's instance over its copy and estCPU is the merge-on-read
+	// estimator across all copies.
+	percpuArr *maps.PerCPUArray
+	buildCPU  func(shard int) (nf.Instance, error)
+	estCPU    func(key []byte) uint32
 }
 
 // NewSharded returns the ParallelRun wiring for name/flavor. Prepare
@@ -369,26 +376,61 @@ func NewSharded(name string, flavor nf.Flavor) *Sharded {
 }
 
 // NewShardedPerCPU returns ParallelRun wiring whose shards share one
-// per-CPU map with private per-shard copies — the
-// BPF_MAP_TYPE_LRU_PERCPU_HASH deployment shape, where scale-out stops
-// sharing arenas. The shard count is needed up front to size the
-// per-CPU table (ParallelRun's builder callback doesn't know the
-// total). Only conntrack carries per-CPU wiring today: it is the one
-// catalog NF whose state is a flow table rather than a sketch, so its
-// cross-shard aggregate is merge-on-read (FlowPackets) instead of
-// estimator summation.
+// per-CPU map with private per-shard copies — the kernel per-CPU map
+// deployment shape, where scale-out stops sharing arenas. The shard
+// count is needed up front to size the per-CPU table (ParallelRun's
+// builder callback doesn't know the total). Three NFs carry per-CPU
+// wiring: conntrack over BPF_MAP_TYPE_LRU_PERCPU_HASH with
+// merge-on-read flow totals (FlowPackets), and the cmsketch and
+// nitrosketch counter matrices over BPF_MAP_TYPE_PERCPU_ARRAY with
+// merge-on-read estimates (Estimate sums the probed counters across
+// copies before taking the row minimum).
 func NewShardedPerCPU(name string, flavor nf.Flavor, shards int) (*Sharded, error) {
-	if name != "conntrack" {
-		return nil, fmt.Errorf("nfcatalog: no per-cpu wiring for %q", name)
+	switch name {
+	case "conntrack":
+		// Same 128-entry sizing as the shared-table construct() path, but
+		// per copy, matching the kernel semantics (max_entries is per-CPU
+		// budgeted for percpu_lru maps).
+		p, err := maps.NewPerCPULRUHash(nf.KeyLen, conntrack.ValSize, 128, shards)
+		if err != nil {
+			return nil, err
+		}
+		return &Sharded{Name: name, Flavor: flavor, percpu: p}, nil
+	case "cmsketch":
+		// Same geometry as the shared-table construct() path.
+		cfg := cmsketch.Config{Rows: 8, Width: 4096}
+		p, err := maps.NewPerCPUArray(cfg.Rows*cfg.Width*4, 1, shards)
+		if err != nil {
+			return nil, err
+		}
+		return &Sharded{Name: name, Flavor: flavor, percpuArr: p,
+			buildCPU: func(shard int) (nf.Instance, error) {
+				s, err := cmsketch.NewOnCPU(flavor, p, shard, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return s, nil
+			},
+			estCPU: func(key []byte) uint32 { return cmsketch.EstimatePerCPU(p, cfg, key) },
+		}, nil
+	case "nitrosketch":
+		cfg := nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4}
+		p, err := maps.NewPerCPUArray(cfg.Rows*cfg.Width*4, 1, shards)
+		if err != nil {
+			return nil, err
+		}
+		return &Sharded{Name: name, Flavor: flavor, percpuArr: p,
+			buildCPU: func(shard int) (nf.Instance, error) {
+				s, err := nitrosketch.NewOnCPU(flavor, p, shard, cfg)
+				if err != nil {
+					return nil, err
+				}
+				return s, nil
+			},
+			estCPU: func(key []byte) uint32 { return nitrosketch.EstimatePerCPU(p, cfg, key) },
+		}, nil
 	}
-	// Same 128-entry sizing as the shared-table construct() path, but
-	// per copy, matching the kernel semantics (max_entries is per-CPU
-	// budgeted for percpu_lru maps).
-	p, err := maps.NewPerCPULRUHash(nf.KeyLen, conntrack.ValSize, 128, shards)
-	if err != nil {
-		return nil, err
-	}
-	return &Sharded{Name: name, Flavor: flavor, percpu: p}, nil
+	return nil, fmt.Errorf("nfcatalog: no per-cpu wiring for %q", name)
 }
 
 // Build constructs shard s's instance from its sub-trace. ParallelRun
@@ -396,6 +438,9 @@ func NewShardedPerCPU(name string, flavor nf.Flavor, shards int) (*Sharded, erro
 func (s *Sharded) Build(shard int, trace *pktgen.Trace) (nf.Instance, error) {
 	if s.percpu != nil {
 		return conntrack.NewOnCPU(s.Flavor, s.percpu, shard)
+	}
+	if s.buildCPU != nil {
+		return s.buildCPU(shard)
 	}
 	b, err := construct(s.Name, s.Flavor, trace)
 	if err != nil {
@@ -426,9 +471,18 @@ func (s *Sharded) FlowPackets(key []byte) (pkts uint64, ok bool) {
 	return binary.LittleEndian.Uint64(out), true
 }
 
-// Estimate sums the per-shard estimators for key. ok is false when the
-// NF has no control-plane estimator.
+// PerCPUMatrix returns the shared per-CPU counter matrix, or nil for
+// wiring without one.
+func (s *Sharded) PerCPUMatrix() *maps.PerCPUArray { return s.percpuArr }
+
+// Estimate sums the per-shard estimators for key. For per-CPU sketch
+// wiring the sum is merge-on-read over the shared matrix's copies
+// before the row minimum, exactly as a control plane reads a kernel
+// per-CPU map. ok is false when the NF has no control-plane estimator.
 func (s *Sharded) Estimate(key []byte) (est uint32, ok bool) {
+	if s.estCPU != nil {
+		return s.estCPU(key), true
+	}
 	if len(s.ests) == 0 {
 		return 0, false
 	}
