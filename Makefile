@@ -10,11 +10,11 @@ GO ?= go
 # e.g. `make fuzz-smoke FUZZTIME=2m`.
 FUZZTIME ?= 10s
 
-.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke bench-maps bench-maps-smoke chaos-smoke attack-smoke obs-smoke
+.PHONY: all check fmt vet build test race difftest fuzz-smoke bench bench-telemetry bench-trace bench-vm bench-vm-smoke bench-maps bench-maps-smoke chaos-smoke attack-smoke obs-smoke nfd-smoke
 
 all: check
 
-check: fmt vet build test race difftest fuzz-smoke chaos-smoke attack-smoke obs-smoke bench-vm-smoke bench-maps-smoke
+check: fmt vet build test race difftest fuzz-smoke chaos-smoke attack-smoke obs-smoke nfd-smoke bench-vm-smoke bench-maps-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -71,6 +71,13 @@ attack-smoke:
 # JSONL), /profile, and pprof, failing on any malformed payload.
 obs-smoke:
 	$(GO) run ./cmd/nfrun -nf cmsketch -flavor enetstl -packets 20000 -serve 127.0.0.1:0 -trace -smoke
+
+# Daemon lifecycle end-to-end: start nfd on a loopback port, run the
+# full module lifecycle over HTTP (create a guarded traced module, push
+# a batch, probe the estimator and stats, scrape /metrics, delete,
+# 404), then shut down cleanly. Exits non-zero on any step.
+nfd-smoke:
+	$(GO) run ./cmd/nfd -smoke
 
 bench:
 	$(GO) test -bench . -benchmem ./internal/ebpf/vm/

@@ -13,13 +13,14 @@ import (
 	"os"
 	"time"
 
-	"enetstl/internal/ebpf/maps"
+	"enetstl/internal/cliopts"
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/experiments"
 	"enetstl/internal/harness"
 	"enetstl/internal/nfcatalog"
 	"enetstl/internal/obs"
 	"enetstl/internal/pktgen"
+	"enetstl/internal/runtime"
 	"enetstl/internal/telemetry"
 )
 
@@ -28,41 +29,43 @@ func main() {
 		id      = flag.String("experiment", "all", "experiment ID (table1, fig1, table2, fig3a..fig3x, fig4..fig7) or 'all'")
 		packets = flag.Int("packets", 20000, "packets per throughput measurement")
 		trials  = flag.Int("trials", 3, "trials per measurement")
-		shards  = flag.Int("shards", 4, "max RSS shard count for the parallel scaling experiment")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		stats   = flag.Bool("stats", false, "enable VM runtime stats and print metrics exposition after the run")
 		faults  = flag.Bool("faults", false, "run the chaos fault-injection suite over the full NF catalog instead of the paper experiments")
 		attack  = flag.Bool("attack", false, "run the adversarial scenario grid (guard off vs on) over the full NF catalog instead of the paper experiments")
 		serve   = flag.String("serve", "", "serve the observability plane (/metrics /profile /debug/pprof) on this address while the experiments run; implies live VM stats")
-		mapImpl = flag.String("map-impl", "bucket", "hash map core behind every NF: bucket (wide-compare, default) | flat (open-addressed reference)")
-		interp  = flag.String("interp", "", "interpreter tier behind every VM flavour: wire | predecoded (default) | jit")
 	)
+	rt := cliopts.Bind(flag.CommandLine, 4, false)
 	flag.Parse()
 
-	// The Impl selector is read when maps are constructed, so flip it
-	// before any experiment builds an NF.
-	switch *mapImpl {
-	case "bucket":
-	case "flat":
-		maps.SetImpl(maps.ImplFlat)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -map-impl %q (bucket|flat)\n", *mapImpl)
-		os.Exit(2)
-	}
-
-	// Likewise the interpreter tier: every VM the experiments create
-	// starts on the selected tier.
-	tier, err := vm.ParseTier(*interp)
+	ropts, err := rt.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	vm.SetDefaultTier(tier)
-
 	if *serve != "" {
 		// Live VM counters feed the /metrics and /profile scrapes while
-		// the long experiment sweep runs; pprof profiles the interpreter.
-		vm.SetGlobalStats(true)
+		// the long experiment sweep runs.
+		ropts.Stats = true
+	}
+	if rt.PrintRequested() {
+		if err := cliopts.Print(ropts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	ropts = ropts.Canon()
+	// Install before any experiment builds an NF: the map core and
+	// interpreter tier are read at construction time, and stats (the
+	// sysctl kernel.bpf_stats_enabled analogue) must flip before build
+	// so every VM the experiments create collects counters.
+	if err := runtime.Install(ropts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stats, shards := ropts.Stats, ropts.Shards
+
+	if *serve != "" {
 		srv := obs.New()
 		addr, err := srv.Start(*serve)
 		if err != nil {
@@ -74,11 +77,11 @@ func main() {
 	}
 
 	if *faults {
-		runFaults(*packets, *stats)
+		runFaults(*packets, stats)
 		return
 	}
 	if *attack {
-		runAttack(*packets, *stats)
+		runAttack(*packets, stats)
 		return
 	}
 
@@ -89,13 +92,7 @@ func main() {
 		return
 	}
 
-	if *stats {
-		// The sysctl analogue: every VM the experiments build from here
-		// on collects run/call/map counters, merged after the run.
-		vm.SetGlobalStats(true)
-	}
-
-	opts := experiments.Options{Packets: *packets, Trials: *trials, Shards: *shards}
+	opts := experiments.Options{Packets: *packets, Trials: *trials, Shards: shards}
 	run := func(r experiments.Runner) {
 		start := time.Now()
 		t, err := r.Run(opts)
@@ -111,7 +108,7 @@ func main() {
 		for _, r := range experiments.All() {
 			run(r)
 		}
-		dumpStats(*stats)
+		dumpStats(stats)
 		return
 	}
 	r, ok := experiments.ByID(*id)
@@ -120,7 +117,7 @@ func main() {
 		os.Exit(2)
 	}
 	run(r)
-	dumpStats(*stats)
+	dumpStats(stats)
 }
 
 // dumpStats prints the merged VM counters of the whole run as metrics

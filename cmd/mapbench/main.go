@@ -19,7 +19,9 @@ import (
 	"os"
 	"runtime"
 
+	"enetstl/internal/cliopts"
 	"enetstl/internal/ebpf/mapbench"
+	nfruntime "enetstl/internal/runtime"
 )
 
 func main() {
@@ -29,7 +31,28 @@ func main() {
 		quick      = flag.Bool("quick", false, "smoke mode: fewer/shorter samples, no artifact quality")
 		minGeomean = flag.Float64("min-geomean", 0, "exit non-zero if the micro geomean speedup is below this (0 = report only)")
 	)
+	rt := cliopts.BindProcess(flag.CommandLine)
 	flag.Parse()
+
+	ropts, err := rt.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if rt.PrintRequested() {
+		if err := cliopts.Print(ropts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// The map cores under comparison are swept internally (each build
+	// scoped through runtime.Under); -options only sets the process
+	// defaults for everything else.
+	if err := nfruntime.Install(ropts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := mapbench.Config{Reps: *reps}
 	if *quick {

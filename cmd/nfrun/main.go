@@ -25,9 +25,9 @@ import (
 	"syscall"
 	"time"
 
+	"enetstl/internal/cliopts"
 	"enetstl/internal/difftest"
 	"enetstl/internal/ebpf/isa"
-	"enetstl/internal/ebpf/maps"
 	"enetstl/internal/ebpf/verifier"
 	"enetstl/internal/ebpf/vm"
 	"enetstl/internal/harness"
@@ -35,59 +35,23 @@ import (
 	"enetstl/internal/nfcatalog"
 	"enetstl/internal/obs"
 	"enetstl/internal/pktgen"
+	"enetstl/internal/runtime"
 	"enetstl/internal/telemetry"
 	"enetstl/internal/trace"
 )
-
-// countingInstance wraps a native (Kernel-flavour) instance so that
-// -stats covers run_cnt/run_time_ns for every flavour; VM-backed
-// instances are metered by the VM itself.
-type countingInstance struct {
-	nf.Instance
-	st *vm.Stats
-}
-
-func (c *countingInstance) Process(pkt []byte) (uint64, error) {
-	start := time.Now()
-	ret, err := c.Instance.Process(pkt)
-	c.st.RecordRun(c.Instance.Name(), time.Since(start))
-	return ret, err
-}
-
-func parseFlavor(s string) (nf.Flavor, error) {
-	switch s {
-	case "kernel":
-		return nf.Kernel, nil
-	case "ebpf":
-		return nf.EBPF, nil
-	case "enetstl":
-		return nf.ENetSTL, nil
-	}
-	return 0, fmt.Errorf("unknown flavor %q (kernel|ebpf|enetstl)", s)
-}
 
 func main() {
 	var (
 		name      = flag.String("nf", "cmsketch", "network function: skiplist cuckooswitch cmsketch nitrosketch cuckoofilter bloom vbf eiffel timewheel edf tss heavykeeper spacesaving daryhash conntrack")
 		flavorS   = flag.String("flavor", "enetstl", "kernel | ebpf | enetstl")
-		packets   = flag.Int("packets", 100000, "trace length")
-		flows     = flag.Int("flows", 1024, "distinct flows")
-		zipf      = flag.Float64("zipf", 1.1, "zipf skew (0 = uniform)")
 		trials    = flag.Int("trials", 3, "measurement trials")
-		shards    = flag.Int("shards", 1, "RSS shards: hash-partition the trace by flow 5-tuple across N per-CPU instances replaying concurrently")
-		percpu    = flag.Bool("percpu", false, "with -shards and -nf conntrack: back every shard with one per-CPU LRU map (a private copy per shard, kernel BPF_MAP_TYPE_LRU_PERCPU_HASH semantics) and print the merge-on-read aggregate")
-		mapImpl   = flag.String("map-impl", "bucket", "hash map core: bucket (wide-compare, default) | flat (open-addressed reference)")
-		interp    = flag.String("interp", "", "interpreter tier for VM flavours: wire | predecoded (default) | jit")
-		seed      = flag.Int64("seed", 1, "trace seed")
 		disasm    = flag.Bool("disasm", false, "print the NF's bytecode and exit (VM flavours)")
-		stats     = flag.Bool("stats", false, "enable runtime stats (bpf_stats analogue) and print metrics exposition")
 		profile   = flag.Bool("profile", false, "attribute execution time to helpers/kfuncs and exit (VM flavours)")
 		chaos     = flag.Bool("chaos", false, "replay every registered NF (all flavours) and the composed apps under the fault-schedule grid, check the robustness contract, and exit")
 		chaosSeed = flag.Uint64("chaos-seed", 0, "fault-plane seed for -chaos (0 = default); a failing seed replays bit-for-bit")
 		difftest  = flag.Bool("difftest", false, "run the differential conformance suite (flavour equivalence over every NF plus a VM-vs-reference sweep) and exit")
 		vmTrials  = flag.Int("vm-trials", 200, "generated programs for the -difftest VM differential sweep")
 		attack    = flag.Bool("attack", false, "replay every registered NF (all flavours) under the adversarial scenario grid, guard off and on, check the overload contract, and exit")
-		scenario  = flag.String("scenario", "", "adversarial scenario (syn-flood|churn|hash-collision): with -attack restricts the grid to it, otherwise the replay trace is generated by that scenario instead of the benign generator")
 		guardOn   = flag.Bool("guard", false, "front the instance with the overload-guard plane (token-bucket shedding, watchdog, degradation) during the replay; single shard only")
 
 		serve       = flag.String("serve", "", "serve the observability plane (/metrics /trace /profile /debug/pprof) on this address during the replay; implies live VM stats")
@@ -98,65 +62,62 @@ func main() {
 		hold        = flag.Bool("hold", false, "with -serve: keep serving after the replay until SIGINT/SIGTERM")
 		smoke       = flag.Bool("smoke", false, "with -serve: self-scrape every endpoint after the replay and exit non-zero on failure")
 	)
+	rt := cliopts.Bind(flag.CommandLine, 1, true)
+	tfl := cliopts.BindTrace(flag.CommandLine, 100000, 1024, 1.1)
 	flag.Parse()
 
-	// Select the hash map core before anything constructs a map: the
-	// Impl selector is read at construction time only.
-	switch *mapImpl {
-	case "bucket":
-	case "flat":
-		maps.SetImpl(maps.ImplFlat)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -map-impl %q (bucket|flat)\n", *mapImpl)
-		os.Exit(2)
-	}
-
-	// Likewise the interpreter tier: VMs read the default when they are
-	// created inside the NF constructors.
-	tier, err := vm.ParseTier(*interp)
+	ropts, err := rt.Options()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	vm.SetDefaultTier(tier)
+	if *serve != "" {
+		// -serve needs live VM stats: /profile and the vm_* scrape
+		// families read these.
+		ropts.Stats = true
+	}
+	if rt.PrintRequested() {
+		if err := cliopts.Print(ropts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	ropts = ropts.Canon()
+	// Install before anything constructs an instance: the map core and
+	// interpreter tier are read at construction time only, and -stats
+	// must flip before build so VMs created inside NF constructors are
+	// metered, as with sysctl kernel.bpf_stats_enabled.
+	if err := runtime.Install(ropts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	stats, shards, percpu := ropts.Stats, ropts.Shards, ropts.PerCPU
 
 	if *chaos {
-		runChaos(*packets, *flows, *seed, *chaosSeed, *stats)
+		runChaos(tfl.Packets(), tfl.Flows(), tfl.Seed(), *chaosSeed, stats)
 		return
 	}
 	if *difftest {
-		runDifftest(*packets, *flows, *seed, *zipf, *vmTrials)
+		runDifftest(tfl.Packets(), tfl.Flows(), tfl.Seed(), tfl.Zipf(), *vmTrials)
 		return
 	}
 	if *attack {
-		runAttack(*packets, *flows, *seed, *scenario, *stats)
+		runAttack(tfl.Packets(), tfl.Flows(), tfl.Seed(), tfl.Scenario(), stats)
 		return
 	}
 
-	flavor, err := parseFlavor(*flavorS)
+	flavor, err := nf.ParseFlavor(*flavorS)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	pcfg := pktgen.Config{Flows: *flows, Packets: *packets, ZipfS: *zipf, Seed: *seed}
-	var tr *pktgen.Trace
-	if *scenario != "" {
-		kind, ok := pktgen.ScenarioFromString(*scenario)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown scenario %q (syn-flood|churn|hash-collision)\n", *scenario)
-			os.Exit(2)
-		}
-		tr = pktgen.GenerateAttack(pktgen.AttackConfig{Base: pcfg, Kind: kind})
-	} else {
-		tr = pktgen.Generate(pcfg)
+	tr, err := tfl.Spec().Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
-	if *stats || *serve != "" {
-		// Flip before build so VMs created inside NF constructors are
-		// metered, as with sysctl kernel.bpf_stats_enabled. -serve needs
-		// it too: /profile and the vm_* scrape families read these.
-		vm.SetGlobalStats(true)
-	}
 	var tcfg *trace.Config
 	if *doTrace {
 		tcfg = &trace.Config{Capacity: *traceCap, SampleRate: *traceSample, Seed: *traceSeed}
@@ -165,7 +126,7 @@ func main() {
 	// NF constructors pick it up; sharded runs get per-shard rings from
 	// ParallelRunTraced instead.
 	var rec *trace.Recorder
-	if tcfg != nil && *shards <= 1 {
+	if tcfg != nil && shards <= 1 {
 		rec = trace.NewRecorder(*tcfg)
 		trace.SetGlobal(rec)
 	}
@@ -186,16 +147,16 @@ func main() {
 	}
 
 	if *guardOn {
-		if *shards > 1 || *profile || *disasm {
+		if shards > 1 || *profile || *disasm {
 			fmt.Fprintln(os.Stderr, "-guard supports the plain single-shard replay only")
 			os.Exit(2)
 		}
-		runGuarded(*name, flavor, tr, *stats, srv)
+		runGuarded(*name, flavor, tr, stats, srv)
 		finishServe(srv, base, *smoke, *hold)
 		return
 	}
-	if *shards > 1 || *percpu {
-		runSharded(*name, flavor, tr, *shards, *trials, *stats, *percpu, tcfg, srv)
+	if shards > 1 || percpu {
+		runSharded(*name, flavor, tr, shards, *trials, stats, percpu, tcfg, srv)
 		finishServe(srv, base, *smoke, *hold)
 		return
 	}
@@ -205,10 +166,13 @@ func main() {
 		os.Exit(1)
 	}
 	var nativeStats *vm.Stats
-	if *stats {
+	if stats {
 		if _, ok := inst.(*nf.VMInstance); !ok {
+			// Wall-clock metering for the Kernel flavour, so -stats covers
+			// run_cnt/run_time_ns for every flavour; VM-backed instances
+			// are metered by the VM itself.
 			nativeStats = vm.NewStats()
-			inst = &countingInstance{Instance: inst, st: nativeStats}
+			inst = runtime.Meter(inst, nativeStats)
 		}
 	}
 	if *profile {
@@ -262,7 +226,7 @@ func main() {
 	if srv != nil {
 		publishRun(srv.Registry())
 	}
-	if *stats {
+	if stats {
 		merged := vm.CollectStats()
 		merged.Merge(nativeStats)
 		reg := telemetry.NewRegistry()

@@ -20,7 +20,9 @@ import (
 	"os"
 	"runtime"
 
+	"enetstl/internal/cliopts"
 	"enetstl/internal/ebpf/vmbench"
+	nfruntime "enetstl/internal/runtime"
 )
 
 func main() {
@@ -30,7 +32,27 @@ func main() {
 		quick      = flag.Bool("quick", false, "smoke mode: fewer/shorter samples, no artifact quality")
 		minGeomean = flag.Float64("min-geomean", 0, "exit non-zero if the jit-vs-wire micro geomean speedup is below this (0 = report only)")
 	)
+	rt := cliopts.BindProcess(flag.CommandLine)
 	flag.Parse()
+
+	ropts, err := rt.Options()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if rt.PrintRequested() {
+		if err := cliopts.Print(ropts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	// The tiers under comparison are swept internally; -options only
+	// sets process defaults (map core, stats) for everything else.
+	if err := nfruntime.Install(ropts); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	cfg := vmbench.Config{Reps: *reps}
 	if *quick {

@@ -20,6 +20,7 @@ import (
 	"enetstl/internal/nf"
 	"enetstl/internal/nfcatalog"
 	"enetstl/internal/pktgen"
+	"enetstl/internal/runtime"
 )
 
 // Config tunes a measurement run.
@@ -332,11 +333,11 @@ func RunMacro(cfg Config) ([]MacroResult, error) {
 			Flows: 96, Packets: cfg.Packets, ZipfS: 1.1, Seed: int64(4200 + seed)})
 		nfcatalog.PrepareTrace("conntrack", trace)
 		build := func(impl maps.Impl) (nf.Instance, *pktgen.Trace, error) {
-			prev := maps.CurrentImpl()
-			maps.SetImpl(impl)
-			defer maps.SetImpl(prev)
 			tr := trace.Clone()
-			inst, err := nfcatalog.Build("conntrack", flavor, tr)
+			inst, err := runtime.Under(runtime.Options{MapImpl: impl.String()},
+				func() (nf.Instance, error) {
+					return nfcatalog.Build("conntrack", flavor, tr)
+				})
 			if err != nil {
 				return nil, nil, fmt.Errorf("conntrack/%v@%v: %w", flavor, impl, err)
 			}

@@ -1,0 +1,96 @@
+package maps
+
+import "sync/atomic"
+
+// Construction-time memory accounting: the runtime options layer
+// meters how many arena bytes one instance's maps allocate so
+// per-tenant map-memory quotas can be enforced at build time (the
+// memlock-style budget a multi-tenant daemon needs). The hook is set
+// only under the runtime build lock; the atomic keeps unscoped
+// concurrent constructions race-free.
+var account atomic.Pointer[func(int)]
+
+// SetAccount installs (or with nil clears) the construction-time byte
+// meter. Every map constructor reports its backing-store footprint
+// through it.
+func SetAccount(fn func(bytes int)) {
+	if fn == nil {
+		account.Store(nil)
+		return
+	}
+	account.Store(&fn)
+}
+
+func charge(bytes int) {
+	if fn := account.Load(); fn != nil {
+		(*fn)(bytes)
+	}
+}
+
+// Footprint returns the map's backing-store size in bytes: arenas,
+// key storage, and index metadata. It is the quantity the map-memory
+// quota meters.
+func (a *Array) Footprint() int { return len(a.data) }
+
+// Footprint sums the per-CPU copies.
+func (p *PerCPUArray) Footprint() int {
+	n := 0
+	for _, c := range p.per {
+		n += c.Footprint()
+	}
+	return n
+}
+
+// Footprint covers the open-addressed state, key, and value stores.
+func (h *FlatHash) Footprint() int { return len(h.state) + len(h.keys) + len(h.vals) }
+
+// Footprint covers tags, keys, values, and the spill markers.
+func (b *BucketHash) Footprint() int {
+	return len(b.tags)*8 + len(b.keys) + len(b.vals) + len(b.ovf1) + len(b.ovf2)
+}
+
+// Footprint adds the recency links to the core's stores.
+func (l *LRUHash) Footprint() int {
+	n := 4 * (len(l.prev) + len(l.next))
+	if f, ok := l.core.(interface{ Footprint() int }); ok {
+		n += f.Footprint()
+	}
+	return n
+}
+
+// Footprint sums the per-CPU copies.
+func (p *PerCPUHash) Footprint() int {
+	n := 0
+	for _, c := range p.per {
+		if f, ok := c.(interface{ Footprint() int }); ok {
+			n += f.Footprint()
+		}
+	}
+	return n
+}
+
+// Footprint sums the per-CPU copies.
+func (p *PerCPULRUHash) Footprint() int {
+	n := 0
+	for _, c := range p.per {
+		n += c.Footprint()
+	}
+	return n
+}
+
+// Footprint passes through to the decorated map.
+func (f *Faulty) Footprint() int {
+	if m, ok := f.M.(interface{ Footprint() int }); ok {
+		return m.Footprint()
+	}
+	return 0
+}
+
+// FootprintOf reports a map's backing-store bytes, 0 for maps that
+// don't implement the meter.
+func FootprintOf(m Map) int {
+	if f, ok := m.(interface{ Footprint() int }); ok {
+		return f.Footprint()
+	}
+	return 0
+}

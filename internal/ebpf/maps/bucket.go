@@ -148,7 +148,7 @@ func NewBucketHash(keySize, valueSize, maxEntries int) (*BucketHash, error) {
 	if int64(nslots)*int64(keySize) > maxMapBytes || int64(nslots)*int64(valueSize) > maxMapBytes {
 		return nil, fmt.Errorf("%w: hash of %d entries exceeds memlock bound", ErrConfig, maxEntries)
 	}
-	return &BucketHash{
+	h := &BucketHash{
 		keySize: keySize, valueSize: valueSize, maxEntries: maxEntries,
 		mask1: uint64(b1 - 1), mask2: uint64(b2 - 1), mask3: uint64(b3 - 1),
 		l2base: l2base, l3base: l3base, stashBase: stashBase, nslots: nslots,
@@ -157,7 +157,9 @@ func NewBucketHash(keySize, valueSize, maxEntries int) (*BucketHash, error) {
 		vals: make([]byte, nslots*valueSize),
 		ovf1: make([]bool, b1),
 		ovf2: make([]bool, b2),
-	}, nil
+	}
+	charge(h.Footprint())
+	return h, nil
 }
 
 func (h *BucketHash) Type() Type      { return TypeHash }

@@ -99,7 +99,9 @@ func NewArray(valueSize, n int) (*Array, error) {
 	if int64(valueSize)*int64(n) > maxMapBytes {
 		return nil, fmt.Errorf("%w: array %d x %d bytes exceeds memlock bound", ErrConfig, n, valueSize)
 	}
-	return &Array{valueSize: valueSize, n: n, data: make([]byte, valueSize*n)}, nil
+	a := &Array{valueSize: valueSize, n: n, data: make([]byte, valueSize*n)}
+	charge(a.Footprint())
+	return a, nil
 }
 
 func (a *Array) Type() Type      { return TypeArray }
@@ -244,13 +246,15 @@ func NewFlatHash(keySize, valueSize, maxEntries int) (*FlatHash, error) {
 	if int64(slots)*int64(keySize) > maxMapBytes || int64(slots)*int64(valueSize) > maxMapBytes {
 		return nil, fmt.Errorf("%w: hash of %d entries exceeds memlock bound", ErrConfig, maxEntries)
 	}
-	return &FlatHash{
+	h := &FlatHash{
 		keySize: keySize, valueSize: valueSize, maxEntries: maxEntries,
 		state: make([]uint8, slots),
 		keys:  make([]byte, slots*keySize),
 		vals:  make([]byte, slots*valueSize),
 		mask:  uint64(slots - 1),
-	}, nil
+	}
+	charge(h.Footprint())
+	return h, nil
 }
 
 func (h *FlatHash) Type() Type      { return TypeHash }
@@ -455,6 +459,7 @@ func NewLRUHashImpl(impl Impl, keySize, valueSize, maxEntries int) (*LRUHash, er
 		tail:       -1,
 		slotOf:     make(map[string]int32, maxEntries),
 	}
+	charge(4 * (len(l.prev) + len(l.next))) // core charged itself in newCore
 	return l, nil
 }
 

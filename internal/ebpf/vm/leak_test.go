@@ -1,0 +1,41 @@
+package vm_test
+
+import (
+	"testing"
+
+	"enetstl/internal/ebpf/vm"
+)
+
+// TestGlobalStatsReleased pins the retained-set lifecycle: a long-lived
+// process (the nfd daemon serving with the legacy global switch on)
+// must not accumulate one Stats per VM ever created. Both switch
+// transitions reset the set.
+func TestGlobalStatsReleased(t *testing.T) {
+	vm.SetGlobalStats(true)
+	defer vm.SetGlobalStats(false)
+	for i := 0; i < 32; i++ {
+		vm.New()
+	}
+	if got := vm.RetainedStats(); got != 32 {
+		t.Fatalf("retained %d Stats while on, want 32", got)
+	}
+	vm.SetGlobalStats(false)
+	if got := vm.RetainedStats(); got != 0 {
+		t.Fatalf("off transition retained %d Stats, want 0", got)
+	}
+	// on→on (a restarted collection window) must also drop the old set.
+	vm.SetGlobalStats(true)
+	vm.New()
+	vm.SetGlobalStats(true)
+	if got := vm.RetainedStats(); got != 0 {
+		t.Fatalf("on→on transition retained %d Stats, want 0", got)
+	}
+	// VMs created while the switch is off are never retained.
+	vm.SetGlobalStats(false)
+	for i := 0; i < 8; i++ {
+		vm.New()
+	}
+	if got := vm.RetainedStats(); got != 0 {
+		t.Fatalf("retained %d Stats while off, want 0", got)
+	}
+}

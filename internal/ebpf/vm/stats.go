@@ -282,14 +282,22 @@ var (
 // SetGlobalStats flips the package-wide stats switch, the analogue of
 // `sysctl kernel.bpf_stats_enabled`. While on, every VM created by New
 // gets stats enabled and its Stats is retained for CollectStats.
-// Turning it on resets the retained set.
+// Flipping the switch in either direction resets the retained set:
+// turning it off must release the retained Stats, or a long-lived
+// process that creates VMs per request grows without bound.
 func SetGlobalStats(on bool) {
 	statsMu.Lock()
 	defer statsMu.Unlock()
 	globalStatsEnabled = on
-	if on {
-		globalStats = nil
-	}
+	globalStats = nil
+}
+
+// RetainedStats reports how many VM Stats the global switch currently
+// retains — observable by leak-check tests.
+func RetainedStats() int {
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	return len(globalStats)
 }
 
 // GlobalStatsEnabled reports the switch state.

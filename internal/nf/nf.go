@@ -8,6 +8,7 @@ package nf
 
 import (
 	"fmt"
+	"strings"
 
 	"enetstl/internal/ebpf/vm"
 )
@@ -32,6 +33,20 @@ func (f Flavor) String() string {
 		return "eNetSTL"
 	}
 	return fmt.Sprintf("flavor(%d)", int(f))
+}
+
+// ParseFlavor parses the case-insensitive flavour names the CLIs and
+// the daemon accept (kernel | ebpf | enetstl).
+func ParseFlavor(s string) (Flavor, error) {
+	switch strings.ToLower(s) {
+	case "kernel":
+		return Kernel, nil
+	case "ebpf":
+		return EBPF, nil
+	case "enetstl":
+		return ENetSTL, nil
+	}
+	return 0, fmt.Errorf("unknown flavor %q (kernel|ebpf|enetstl)", s)
 }
 
 // Synthetic packet layout. Every trace packet is PktSize bytes; the

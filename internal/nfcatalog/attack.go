@@ -83,16 +83,16 @@ func addShedRateMark(g *guard.Guard) {
 // opt-ins, watermark probes, shed-rate mark) — the `nfrun -guard` entry
 // point, and the single place the grid's guard policy is defined.
 func BuildGuarded(name string, flavor nf.Flavor, trace *pktgen.Trace) (*guard.Guarded, *guard.Guard, error) {
-	b, err := buildFull(name, flavor, trace)
+	b, err := BuildFull(name, flavor, trace)
 	if err != nil {
 		return nil, nil, err
 	}
 	g := guard.New(name, 0, attackGuardConfig())
-	if b.gw != nil {
-		b.gw(g)
+	if b.GuardWire != nil {
+		b.GuardWire(g)
 	}
 	addShedRateMark(g)
-	return g.Wrap(b.inst), g, nil
+	return g.Wrap(b.Inst), g, nil
 }
 
 // AttackCases builds the adversarial grid: every registered NF in every
@@ -120,14 +120,14 @@ func AttackCases(cfg AttackConfig) ([]harness.AttackCase, error) {
 						if err != nil {
 							return harness.AttackArm{}, err
 						}
-						arm := harness.AttackArm{Inst: b.inst, Est: b.est, Check: b.check}
+						arm := harness.AttackArm{Inst: b.Inst, Est: b.Est, Check: b.Check}
 						if guardOn {
 							g := guard.New(name, 0, attackGuardConfig())
-							if b.gw != nil {
-								b.gw(g)
+							if b.GuardWire != nil {
+								b.GuardWire(g)
 							}
 							addShedRateMark(g)
-							arm.Inst = g.Wrap(b.inst)
+							arm.Inst = g.Wrap(b.Inst)
 							arm.Guard = g
 						}
 						return arm, nil

@@ -128,15 +128,15 @@ func ImplDiffCases(cfg DiffConfig) ([]ImplDiffCase, error) {
 			for _, impl := range []maps.Impl{maps.ImplFlat, maps.ImplBucket} {
 				trace := canon.Clone()
 				maps.SetImpl(impl)
-				b, err := buildFull(name, fl, trace)
+				b, err := BuildFull(name, fl, trace)
 				if err != nil {
 					maps.SetImpl(prev)
 					return nil, fmt.Errorf("impl diff case %s/%v/%v: %w", name, fl, impl, err)
 				}
 				c.Impls = append(c.Impls, impl)
-				c.Insts = append(c.Insts, b.inst)
+				c.Insts = append(c.Insts, b.Inst)
 				c.Traces = append(c.Traces, trace)
-				c.Estimates = append(c.Estimates, b.est)
+				c.Estimates = append(c.Estimates, b.Est)
 			}
 			cases = append(cases, c)
 		}
@@ -177,19 +177,19 @@ func InterpDiffCases(cfg DiffConfig) ([]InterpDiffCase, error) {
 			c := InterpDiffCase{Name: fmt.Sprintf("%s/%v", name, fl)}
 			for _, tier := range []vm.Tier{vm.TierPredecoded, vm.TierWire, vm.TierJIT} {
 				trace := canon.Clone()
-				b, err := buildFull(name, fl, trace)
+				b, err := BuildFull(name, fl, trace)
 				if err != nil {
 					return nil, fmt.Errorf("interp diff case %s/%v/%v: %w", name, fl, tier, err)
 				}
-				v, ok := b.inst.(interface{ VM() *vm.VM })
+				v, ok := b.Inst.(interface{ VM() *vm.VM })
 				if !ok || v.VM() == nil {
 					return nil, fmt.Errorf("interp diff case %s/%v: flavour is not VM-backed", name, fl)
 				}
 				v.VM().SetTier(tier)
 				c.Tiers = append(c.Tiers, tier)
-				c.Insts = append(c.Insts, b.inst)
+				c.Insts = append(c.Insts, b.Inst)
 				c.Traces = append(c.Traces, trace)
-				c.Estimates = append(c.Estimates, b.est)
+				c.Estimates = append(c.Estimates, b.Est)
 			}
 			cases = append(cases, c)
 		}
@@ -208,14 +208,14 @@ func DiffCases(cfg DiffConfig) ([]DiffCase, error) {
 		c := DiffCase{Name: name, Oracle: diffOracle(name)}
 		for _, fl := range SupportedFlavors(name) {
 			trace := canon.Clone()
-			b, err := buildFull(name, fl, trace)
+			b, err := BuildFull(name, fl, trace)
 			if err != nil {
 				return nil, fmt.Errorf("diff case %s/%v: %w", name, fl, err)
 			}
 			c.Flavors = append(c.Flavors, fl)
-			c.Insts = append(c.Insts, b.inst)
+			c.Insts = append(c.Insts, b.Inst)
 			c.Traces = append(c.Traces, trace)
-			c.Estimates = append(c.Estimates, b.est)
+			c.Estimates = append(c.Estimates, b.Est)
 		}
 		cases = append(cases, c)
 	}

@@ -44,29 +44,32 @@ func Names() []string {
 	}
 }
 
-// built is one constructed NF plus its chaos wiring and, for the
-// sketch/filter NFs, the control-plane estimator the differential
-// harness probes after a replay.
-type built struct {
-	inst  nf.Instance
-	arm   func(p *faultinject.Plane)
-	check func() error
-	est   func(key []byte) uint32
-	// gw wires the NF's overload-guard opt-ins (degradation policy,
-	// watermark probes) into a guard fronting this instance; nil for NFs
-	// with no bespoke policy (generic budget shedding still applies).
-	gw func(g *guard.Guard)
+// Built is one constructed NF plus its full wiring: the chaos-plane
+// fault hooks and invariant check, the control-plane estimator the
+// differential harness probes after a replay, and the guard policy
+// opt-ins. The daemon and the CLIs both consume it, so "an NF with its
+// wiring" means the same thing over HTTP and over flags.
+type Built struct {
+	Inst  nf.Instance
+	Arm   func(p *faultinject.Plane)
+	Check func() error
+	Est   func(key []byte) uint32
+	// GuardWire wires the NF's overload-guard opt-ins (degradation
+	// policy, watermark probes) into a guard fronting this instance; nil
+	// for NFs with no bespoke policy (generic budget shedding still
+	// applies).
+	GuardWire func(g *guard.Guard)
 }
 
 // Build constructs an NF instance, populating lookup structures from
 // the trace's flows where the NF needs a table and applying the NF's
 // op mix to the trace.
 func Build(name string, flavor nf.Flavor, trace *pktgen.Trace) (nf.Instance, error) {
-	b, err := buildFull(name, flavor, trace)
+	b, err := BuildFull(name, flavor, trace)
 	if err != nil {
 		return nil, err
 	}
-	return b.inst, nil
+	return b.Inst, nil
 }
 
 // queueize turns the trace into an enqueue/dequeue mix with spread
@@ -95,7 +98,7 @@ func PrepareTrace(name string, trace *pktgen.Trace) {
 	}
 }
 
-func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error) {
+func BuildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (Built, error) {
 	PrepareTrace(name, trace)
 	return construct(name, flavor, trace)
 }
@@ -105,14 +108,14 @@ func buildFull(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 // can call it once per shard on already-prepared sub-traces: the flow
 // table travels whole with every shard (pktgen.Trace.Shard), giving
 // each per-CPU instance an identical table image.
-func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error) {
+func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (Built, error) {
 	switch name {
 	case "skiplist":
 		s, err := skiplist.New(flavor)
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: s, check: s.CheckInvariants, arm: func(p *faultinject.Plane) {
+		return Built{Inst: s, Check: s.CheckInvariants, Arm: func(p *faultinject.Plane) {
 			if pr := s.Proxy(); pr != nil {
 				pr.FailAlloc = p.Site(faultinject.SiteAlloc).Fire
 			}
@@ -120,104 +123,104 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 	case "cuckooswitch":
 		s, err := cuckooswitch.New(flavor, cuckooswitch.Config{Buckets: 1024})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
 		for i := range trace.FlowKeys {
 			s.Insert(trace.FlowKeys[i][:], uint32(100+i))
 		}
-		return built{inst: s.Instance}, nil
+		return Built{Inst: s.Instance}, nil
 	case "cmsketch":
 		s, err := cmsketch.New(flavor, cmsketch.Config{Rows: 8, Width: 4096})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: s.Instance, est: s.Estimate,
-			gw: func(g *guard.Guard) { g.SetHeadSample(s.DegradeHeadSample()) }}, nil
+		return Built{Inst: s.Instance, Est: s.Estimate,
+			GuardWire: func(g *guard.Guard) { g.SetHeadSample(s.DegradeHeadSample()) }}, nil
 	case "nitrosketch":
 		s, err := nitrosketch.New(flavor, nitrosketch.Config{Rows: 8, Width: 4096, ProbLog2: 4})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: s.Instance, est: s.Estimate, arm: func(p *faultinject.Plane) {
+		return Built{Inst: s.Instance, Est: s.Estimate, Arm: func(p *faultinject.Plane) {
 			if g := s.GeoPool(); g != nil {
 				g.FailRefill = p.Site(faultinject.SiteRefill).Fire
 			}
-		}, gw: func(g *guard.Guard) { g.SetHeadSample(s.DegradeHeadSample()) }}, nil
+		}, GuardWire: func(g *guard.Guard) { g.SetHeadSample(s.DegradeHeadSample()) }}, nil
 	case "cuckoofilter":
 		f, err := cuckoofilter.New(flavor, cuckoofilter.Config{Buckets: 1024})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
 		for i := range trace.FlowKeys {
 			f.Insert(trace.FlowKeys[i][:])
 		}
-		return built{inst: f.Instance}, nil
+		return Built{Inst: f.Instance}, nil
 	case "vbf":
 		v, err := vbf.New(flavor, vbf.Config{Bits: 16384, Hashes: 4})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
 		for i := range trace.FlowKeys {
 			v.Insert(trace.FlowKeys[i][:], i%32)
 		}
-		return built{inst: v.Instance, est: v.Query}, nil
+		return Built{Inst: v.Instance, Est: v.Query}, nil
 	case "eiffel":
 		q, err := eiffel.New(flavor, eiffel.Config{Levels: 2})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: q.Instance}, nil
+		return Built{Inst: q.Instance}, nil
 	case "timewheel":
 		w, err := timewheel.New(flavor, timewheel.Config{Slots: 1024})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: w, check: w.CheckInvariants}, nil
+		return Built{Inst: w, Check: w.CheckInvariants}, nil
 	case "edf":
 		e, err := edf.New(flavor, edf.Config{Groups: 1024, Targets: 64})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: e.Instance}, nil
+		return Built{Inst: e.Instance}, nil
 	case "tss":
 		c, err := tss.New(flavor, tss.Config{Spaces: 8, Slots: 1024})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
 		for i := 0; i < len(trace.FlowKeys)/2; i++ {
 			c.Insert(trace.FlowKeys[i][:], i%8, uint32(i%7+1), uint32(i))
 		}
-		return built{inst: c.Instance}, nil
+		return Built{Inst: c.Instance}, nil
 	case "heavykeeper":
 		h, err := heavykeeper.New(flavor, heavykeeper.Config{Rows: 4, Width: 4096})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: h.Instance, est: h.Estimate, arm: func(p *faultinject.Plane) {
+		return Built{Inst: h.Instance, Est: h.Estimate, Arm: func(p *faultinject.Plane) {
 			if pl := h.Pool(); pl != nil {
 				pl.FailRefill = p.Site(faultinject.SiteRefill).Fire
 			}
-		}, gw: func(g *guard.Guard) { g.SetHeadSample(h.DegradeHeadSample()) }}, nil
+		}, GuardWire: func(g *guard.Guard) { g.SetHeadSample(h.DegradeHeadSample()) }}, nil
 	case "bloom":
 		f, err := bloom.New(flavor, bloom.Config{Bits: 1 << 16, Hashes: 4})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: f.Instance}, nil
+		return Built{Inst: f.Instance}, nil
 	case "spacesaving":
 		s, err := spacesaving.New(flavor, spacesaving.Config{Slots: 64})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: s.Instance, est: s.Estimate}, nil
+		return Built{Inst: s.Instance, Est: s.Estimate}, nil
 	case "conntrack":
 		// Sized below the flow count so the LRU churns and the update
 		// path stays hot for the whole replay.
 		t, err := conntrack.New(flavor, conntrack.Config{Entries: 128})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
-		return built{inst: t, arm: func(p *faultinject.Plane) {
+		return Built{Inst: t, Arm: func(p *faultinject.Plane) {
 			// Kernel flavour: decorate the backing map directly (the EBPF
 			// flavour's map is wrapped generically through the VM).
 			if m := t.Map(); m != nil {
@@ -230,7 +233,7 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 					MissLookup: p.Site(faultinject.SiteMapLookup).Fire,
 				})
 			}
-		}, gw: func(g *guard.Guard) {
+		}, GuardWire: func(g *guard.Guard) {
 			g.OnDegrade(t.Degrade)
 			// The flow table runs full under benign load, so occupancy is
 			// meaningless for an LRU; the overload signal is the eviction
@@ -255,14 +258,14 @@ func construct(name string, flavor nf.Flavor, trace *pktgen.Trace) (built, error
 	case "daryhash":
 		d, err := daryhash.New(flavor, daryhash.Config{Slots: 4096, D: 4})
 		if err != nil {
-			return built{}, err
+			return Built{}, err
 		}
 		for i := 0; i < len(trace.FlowKeys) && i < 2048; i++ {
 			d.Insert(trace.FlowKeys[i][:], uint32(100+i))
 		}
-		return built{inst: d.Instance}, nil
+		return Built{Inst: d.Instance}, nil
 	}
-	return built{}, fmt.Errorf("unknown NF %q", name)
+	return Built{}, fmt.Errorf("unknown NF %q", name)
 }
 
 // CasesConfig shapes the chaos case set.
@@ -306,16 +309,16 @@ func Cases(cfg CasesConfig) ([]harness.ChaosCase, error) {
 			}
 			trace := pktgen.Generate(pktgen.Config{
 				Flows: cfg.Flows, Packets: cfg.Packets, ZipfS: 1.1, Seed: cfg.Seed})
-			b, err := buildFull(name, fl, trace)
+			b, err := BuildFull(name, fl, trace)
 			if err != nil {
 				return nil, fmt.Errorf("chaos case %s/%v: %w", name, fl, err)
 			}
 			cases = append(cases, harness.ChaosCase{
 				Name:  fmt.Sprintf("%s/%v", name, fl),
-				Inst:  b.inst,
+				Inst:  b.Inst,
 				Trace: trace,
-				Arm:   b.arm,
-				Check: b.check,
+				Arm:   b.Arm,
+				Check: b.Check,
 			})
 		}
 	}
@@ -446,10 +449,10 @@ func (s *Sharded) Build(shard int, trace *pktgen.Trace) (nf.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	if b.est != nil {
-		s.ests = append(s.ests, b.est)
+	if b.Est != nil {
+		s.ests = append(s.ests, b.Est)
 	}
-	return b.inst, nil
+	return b.Inst, nil
 }
 
 // PerCPUTable returns the shared per-CPU flow table, or nil for wiring

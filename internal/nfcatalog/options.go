@@ -1,0 +1,64 @@
+// Options-aware construction: the bridge between the catalog and the
+// runtime options layer. A daemon request body and a CLI flag set both
+// land here, so the same Options value always yields the same instance
+// regardless of transport.
+
+package nfcatalog
+
+import (
+	"enetstl/internal/guard"
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+	"enetstl/internal/runtime"
+)
+
+// BuildWith constructs an NF with its full wiring under o's scoped
+// runtime settings (tier, map implementation, quotas). Construction
+// happens under the runtime build lock, so concurrent builds with
+// different options never cross-contaminate; quota breaches surface as
+// runtime.ErrQuota.
+func BuildWith(o runtime.Options, name string, flavor nf.Flavor, trace *pktgen.Trace) (Built, error) {
+	return runtime.Under(o, func() (Built, error) {
+		return BuildFull(name, flavor, trace)
+	})
+}
+
+// GuardPolicy returns the catalog's uniform guard policy — budgets
+// calibrate per instance, so one config fits a skiplist and a count-min
+// sketch alike. Callers overlay runtime.Options guard/quota settings on
+// top of it.
+func GuardPolicy() guard.Config { return attackGuardConfig() }
+
+// WireGuard applies the NF's bespoke guard opt-ins (degradation policy,
+// watermark probes) plus the catalog's shed-rate mark to g — the same
+// wiring BuildGuarded performs, exposed for callers that construct the
+// guard themselves (the daemon, which derives its config from Options).
+func (b Built) WireGuard(g *guard.Guard) {
+	if b.GuardWire != nil {
+		b.GuardWire(g)
+	}
+	addShedRateMark(g)
+}
+
+// BuildFull constructs shard's instance like Build but returns the full
+// wiring, so per-shard guards and estimators can be attached. The
+// merged estimator remains Sharded.Estimate; the per-shard Est is what
+// this shard alone observed (nil for per-CPU wiring, whose estimate is
+// merge-on-read and only meaningful across all copies).
+func (s *Sharded) BuildFull(shard int, trace *pktgen.Trace) (Built, error) {
+	if s.percpu != nil || s.buildCPU != nil {
+		inst, err := s.Build(shard, trace)
+		if err != nil {
+			return Built{}, err
+		}
+		return Built{Inst: inst}, nil
+	}
+	b, err := construct(s.Name, s.Flavor, trace)
+	if err != nil {
+		return Built{}, err
+	}
+	if b.Est != nil {
+		s.ests = append(s.ests, b.Est)
+	}
+	return b, nil
+}

@@ -16,6 +16,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -57,11 +58,19 @@ type Server struct {
 // gatherers: the global VM stats collection (everything created under
 // vm.SetGlobalStats) and, once SetRecorder is called, ring accounting.
 func New() *Server {
-	s := &Server{reg: telemetry.NewRegistry()}
+	s := NewBare()
 	s.gather = append(s.gather, func(r *telemetry.Registry) {
 		vm.CollectStats().Publish(r)
 	})
 	return s
+}
+
+// NewBare returns a server with no default gatherers — the daemon
+// shape, where per-module stats are registered explicitly instead of
+// flowing through the global VM stats switch (which retains every VM
+// ever built and so cannot back a long-lived process).
+func NewBare() *Server {
+	return &Server{reg: telemetry.NewRegistry()}
 }
 
 // Registry returns the static registry; replay code publishes finished
@@ -105,6 +114,14 @@ func (s *Server) SetProfileSource(fn func() []*harness.ProfileReport) {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
+	s.Mount(mux)
+	return mux
+}
+
+// Mount registers the observability routes (everything but the index)
+// on an existing mux — how the nfd daemon folds the obs plane into its
+// own route table without a second listener.
+func (s *Server) Mount(mux *http.ServeMux) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace", s.handleTrace)
 	mux.HandleFunc("/profile", s.handleProfile)
@@ -113,12 +130,18 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Start listens on addr (":0" picks a free port) and serves in the
-// background, returning the bound address.
+// background, returning the bound address. Starting an already-started
+// server is an error (the old listener would leak).
 func (s *Server) Start(addr string) (string, error) {
+	s.mu.Lock()
+	if s.httpSrv != nil {
+		s.mu.Unlock()
+		return "", fmt.Errorf("obs: server already started")
+	}
+	s.mu.Unlock()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
@@ -132,15 +155,36 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// Close shuts the listener down.
-func (s *Server) Close() error {
+// detach removes and returns the running http server, leaving s
+// restartable: a Start/Close cycle must not retain the dead listener
+// or server (repeated attach/detach in one process would accumulate
+// them).
+func (s *Server) detach() *http.Server {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	srv := s.httpSrv
-	s.mu.Unlock()
+	s.httpSrv, s.ln = nil, nil
+	return srv
+}
+
+// Close shuts the listener down immediately, dropping in-flight
+// scrapes. The server may be started again afterwards.
+func (s *Server) Close() error {
+	srv := s.detach()
 	if srv == nil {
 		return nil
 	}
 	return srv.Close()
+}
+
+// Shutdown stops listening and waits (bounded by ctx) for in-flight
+// scrapes to drain — the daemon's clean-exit path.
+func (s *Server) Shutdown(ctx context.Context) error {
+	srv := s.detach()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,68 @@
+package runtime
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"enetstl/internal/nf"
+	"enetstl/internal/pktgen"
+)
+
+// TraceSpec is the serializable packet-source description shared by
+// the daemon's ingestion API and the CLIs' trace flags: either a
+// seeded generator spec (benign or adversarial scenario) or a raw
+// base64 packet list. The same spec always builds the same trace, so a
+// JSON request and a flag set replay bit-identical streams.
+type TraceSpec struct {
+	Flows   int     `json:"flows,omitempty"`
+	Packets int     `json:"packets,omitempty"`
+	Zipf    float64 `json:"zipf,omitempty"`
+	Seed    int64   `json:"seed,omitempty"`
+	// Scenario selects an adversarial generator (syn-flood | churn |
+	// hash-collision); empty means the benign zipf generator.
+	Scenario string `json:"scenario,omitempty"`
+	// Raw replays these base64-encoded PktSize-byte packets verbatim
+	// instead of generating; the other fields are ignored.
+	Raw []string `json:"raw,omitempty"`
+}
+
+func (s TraceSpec) norm() TraceSpec {
+	if s.Flows <= 0 {
+		s.Flows = 256
+	}
+	if s.Packets <= 0 {
+		s.Packets = 2000
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Build materializes the trace.
+func (s TraceSpec) Build() (*pktgen.Trace, error) {
+	if len(s.Raw) > 0 {
+		tr := &pktgen.Trace{Packets: make([]pktgen.Packet, len(s.Raw))}
+		for i, enc := range s.Raw {
+			b, err := base64.StdEncoding.DecodeString(enc)
+			if err != nil {
+				return nil, fmt.Errorf("runtime: raw packet %d: %w", i, err)
+			}
+			if len(b) != nf.PktSize {
+				return nil, fmt.Errorf("runtime: raw packet %d is %d bytes, want %d", i, len(b), nf.PktSize)
+			}
+			copy(tr.Packets[i][:], b)
+		}
+		return tr, nil
+	}
+	s = s.norm()
+	cfg := pktgen.Config{Flows: s.Flows, Packets: s.Packets, ZipfS: s.Zipf, Seed: s.Seed}
+	if s.Scenario == "" {
+		return pktgen.Generate(cfg), nil
+	}
+	kind, ok := pktgen.ScenarioFromString(s.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown scenario %q (syn-flood|churn|hash-collision)", s.Scenario)
+	}
+	return pktgen.GenerateAttack(pktgen.AttackConfig{Base: cfg, Kind: kind}), nil
+}
